@@ -1,0 +1,10 @@
+"""Extension H: end-to-end mixed batch workload on the live cluster."""
+
+from repro.analysis.experiments import ext_batch
+
+
+def test_ext_batch(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_batch.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_batch.check(fig)
+    figure_store(fig, fmt="{:>12.3f}")

@@ -1,0 +1,10 @@
+"""Extension B: pipeline block-size ablation and adaptive-policy optimality."""
+
+from repro.analysis.experiments import ext_blocksize
+
+
+def test_ext_blocksize_ablation(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_blocksize.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_blocksize.check(fig)
+    figure_store(fig)

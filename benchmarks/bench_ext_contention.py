@@ -1,0 +1,10 @@
+"""Extension D: shared-fabric contention vs active accelerator streams."""
+
+from repro.analysis.experiments import ext_contention
+
+
+def test_ext_contention(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_contention.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_contention.check(fig)
+    figure_store(fig)

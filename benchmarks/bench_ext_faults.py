@@ -1,0 +1,10 @@
+"""Extension E: accelerator failure mid-job — node survival and recovery."""
+
+from repro.analysis.experiments import ext_faults
+
+
+def test_ext_faults(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_faults.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_faults.check(fig)
+    figure_store(fig, fmt="{:>12.2f}")

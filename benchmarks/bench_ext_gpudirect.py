@@ -1,0 +1,10 @@
+"""Extension F: the contribution of GPUDirect pinned-buffer sharing."""
+
+from repro.analysis.experiments import ext_gpudirect
+
+
+def test_ext_gpudirect(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_gpudirect.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_gpudirect.check(fig)
+    figure_store(fig)

@@ -1,0 +1,10 @@
+"""Extension G: QR panel-lookahead ablation on network-attached GPUs."""
+
+from repro.analysis.experiments import ext_lookahead
+
+
+def test_ext_lookahead(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_lookahead.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_lookahead.check(fig)
+    figure_store(fig)

@@ -1,0 +1,10 @@
+"""Extension A: MPI/InfiniBand middleware vs rCUDA-style TCP remoting."""
+
+from repro.analysis.experiments import ext_tcp
+
+
+def test_ext_tcp_vs_mpi(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_tcp.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_tcp.check(fig)
+    figure_store(fig)

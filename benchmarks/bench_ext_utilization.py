@@ -1,0 +1,10 @@
+"""Extension C: job-mix utilization, static vs dynamic accelerator pool."""
+
+from repro.analysis.experiments import ext_utilization
+
+
+def test_ext_utilization(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_utilization.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_utilization.check(fig)
+    figure_store(fig, fmt="{:>12.2f}")

@@ -1,0 +1,16 @@
+"""Figure 5: host-to-device bandwidth of the middleware copy protocols.
+
+Regenerates the naive / pipeline-128K / -256K / -512K / adaptive curves
+against the MPI PingPong upper bound and asserts the paper's shape: the
+pipelines approach the MPI bound, naive plateaus at the serialization
+bound, and the 128K->512K block-size crossover sits near 9 MiB.
+"""
+
+from repro.analysis.experiments import fig05
+
+
+def test_fig05_h2d_bandwidth(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig05.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig05.check(fig)
+    figure_store(fig)

@@ -1,0 +1,14 @@
+"""Figure 6: device-to-host bandwidth of the middleware copy protocols.
+
+Asserts the paper's D2H finding: pipelines beat naive, and a single
+128 KiB block size is (at least tied for) best at every message size.
+"""
+
+from repro.analysis.experiments import fig06
+
+
+def test_fig06_d2h_bandwidth(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig06.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig06.check(fig)
+    figure_store(fig)

@@ -1,0 +1,15 @@
+"""Figure 7: H2D bandwidth, node-attached vs network-attached GPU.
+
+Asserts the ordering and peak calibration of the paper's testbed:
+local pinned ~5700 MiB/s > local pageable ~4700 > MPI ~2660 >= dynamic
+adaptive pipeline (which stays within 10% of the MPI bound).
+"""
+
+from repro.analysis.experiments import fig07
+
+
+def test_fig07_h2d_local_vs_remote(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig07.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig07.check(fig)
+    figure_store(fig)

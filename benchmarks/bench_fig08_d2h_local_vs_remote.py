@@ -1,0 +1,10 @@
+"""Figure 8: D2H bandwidth, node-attached vs network-attached GPU."""
+
+from repro.analysis.experiments import fig08
+
+
+def test_fig08_d2h_local_vs_remote(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig08.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig08.check(fig)
+    figure_store(fig)

@@ -1,0 +1,15 @@
+"""Figure 9: multi-GPU QR factorization GFlop/s sweep.
+
+Asserts: one network-attached GPU never beats the node-local GPU, three
+network-attached GPUs reach ~2.2x the local GPU at N=10240 (accepted
+band 1.7-2.7), and throughput grows with N.
+"""
+
+from repro.analysis.experiments import fig09
+
+
+def test_fig09_magma_qr(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig09.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig09.check(fig)
+    figure_store(fig)

@@ -1,0 +1,16 @@
+"""Figure 10: multi-GPU Cholesky factorization GFlop/s sweep.
+
+Asserts the Cholesky shape and — by also regenerating the QR data — the
+paper's cross-figure observation that QR is more bandwidth-sensitive than
+Cholesky.
+"""
+
+from repro.analysis.experiments import fig09, fig10
+
+
+def test_fig10_magma_cholesky(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig10.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    qr_fig = fig09.run(quick=True)  # small sweep for the sensitivity compare
+    fig10.check(fig, qr_fig=qr_fig)
+    figure_store(fig)

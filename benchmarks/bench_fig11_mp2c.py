@@ -1,0 +1,15 @@
+"""Figure 11: MP2C wall time, CUDA local vs dynamic cluster architecture.
+
+Asserts the paper's claim: the dynamic architecture prolongs execution by
+at most 4% for all three particle counts, and absolute runtimes land in
+the paper's 10-25 minute range at full scale.
+"""
+
+from repro.analysis.experiments import fig11
+
+
+def test_fig11_mp2c(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(fig11.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    fig11.check(fig)
+    figure_store(fig, fmt="{:>12.2f}")

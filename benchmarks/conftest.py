@@ -1,0 +1,37 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper figure (or an extension study),
+prints its series as an ASCII table, asserts the qualitative shape the
+paper reports, and archives the series as JSON under
+``benchmarks/results/`` for EXPERIMENTS.md bookkeeping.
+
+Set ``REPRO_BENCH_QUICK=1`` to run coarser sweeps.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture
+def figure_store(capsys):
+    """Print a figure and archive it as JSON."""
+
+    def store(fig, fmt="{:>10.1f}"):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / f"{fig.fig_id}.json", "w") as fh:
+            json.dump(fig.to_dict(), fh, indent=1)
+        with capsys.disabled():
+            print()
+            print(fig.render(fmt))
+
+    return store

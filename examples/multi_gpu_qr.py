@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Multi-GPU QR factorization: the paper's Figure 9 scenario.
+
+One compute node factors matrices with 1-3 network-attached GPUs and with
+a node-attached one, printing the GFlop/s each configuration achieves —
+first verifying the numerics on a small real run, then sweeping paper
+sizes in timing-only mode.
+
+Run:  python examples/multi_gpu_qr.py
+"""
+
+import numpy as np
+
+from repro.baselines import LocalAccelerator
+from repro.cluster import Cluster, paper_testbed
+from repro.workloads.linalg import qr_factorize, reconstruct_q
+
+
+def remote_setup(n_gpus):
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=n_gpus))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=n_gpus))
+    acs = [cluster.remote(0, h) for h in handles]
+    return cluster, sess, acs
+
+
+def local_setup():
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=0,
+                                    local_gpus=True))
+    node = cluster.compute_nodes[0]
+    return cluster, cluster.session(), [
+        LocalAccelerator(cluster.engine, node.local_gpu, node.cpu)]
+
+
+def main():
+    # -- correctness first: a real 128x128 factorization on 3 remote GPUs --
+    n_small = 128
+    A = np.random.default_rng(0).standard_normal((n_small, n_small))
+    cluster, sess, acs = remote_setup(3)
+    res = sess.call(qr_factorize(cluster.engine, cluster.compute_nodes[0].cpu,
+                                 acs, n_small, nb=32, A=A))
+    Q = reconstruct_q(n_small, res.reflectors)
+    assert np.allclose(Q @ res.R, A, atol=1e-8)
+    assert np.allclose(Q.T @ Q, np.eye(n_small), atol=1e-9)
+    print(f"verified: QR of a {n_small}x{n_small} matrix across 3 "
+          "network-attached GPUs reproduces A (QR=A, Q orthonormal)\n")
+
+    # -- the Figure 9 sweep in timing-only mode ---------------------------
+    sizes = [1024, 4032, 8064, 10240]
+    configs = [("CUDA local", None)] + [(f"{g} network GPU(s)", g)
+                                        for g in (1, 2, 3)]
+    print(f"{'N':>7}" + "".join(f"{label:>20}" for label, _ in configs)
+          + "   [GFlop/s]")
+    rows = {}
+    for n in sizes:
+        cells = []
+        for label, g in configs:
+            c, s, a = local_setup() if g is None else remote_setup(g)
+            r = s.call(qr_factorize(c.engine, c.compute_nodes[0].cpu,
+                                    a, n, nb=128))
+            cells.append(r.gflops)
+        rows[n] = cells
+        print(f"{n:>7}" + "".join(f"{v:>20.1f}" for v in cells))
+
+    top = sizes[-1]
+    speedup = rows[top][3] / rows[top][0]
+    print(f"\n3 network-attached GPUs vs 1 local GPU at N={top}: "
+          f"{speedup:.2f}x  (paper: ~2.2x)")
+    print("note: 1 network GPU never beats the local one — QR pays the "
+          "panel-roundtrip bandwidth penalty.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on minimal
+environments without the ``wheel`` package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of "A Dynamic Accelerator-Cluster Architecture"
+(Rinke et al., ICPP 2012).
+
+The library implements the paper's full system — a pool of
+network-attached accelerators dynamically assigned to compute nodes by an
+accelerator resource manager, driven through an MPI-based remoting
+middleware with a GPUDirect-style pipelined copy protocol — together with
+every substrate it runs on: a from-scratch discrete-event simulation
+kernel, a fluid-flow InfiniBand fabric model, a simulated MPI layer with
+real payloads, and a virtual GPU that executes genuine numpy kernels under
+a Tesla-C1060-calibrated cost model.
+
+Quick tour::
+
+    from repro.cluster import Cluster, paper_testbed
+
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=3))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    ac = cluster.remote(0, handles[0])
+
+    ptr = sess.call(ac.mem_alloc(8 * 1024))
+    sess.call(ac.memcpy_h2d(ptr, my_array))
+    sess.call(ac.kernel_create("daxpy"))
+    sess.call(ac.kernel_run("daxpy", {"x": ptr, ...}))
+    out = sess.call(ac.memcpy_d2h(ptr, 8 * 1024))
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event kernel (events, processes, resources)
+* :mod:`repro.netsim` — network fabric and link models
+* :mod:`repro.mpisim` — simulated MPI (p2p, collectives, real payloads)
+* :mod:`repro.gpusim` — virtual GPU (memory, DMA, kernels)
+* :mod:`repro.cluster` — node specs, cluster builder, batch scheduler
+* :mod:`repro.core` — **the paper's contribution**: middleware + ARM
+* :mod:`repro.baselines` — CUDA-local and TCP-remoting baselines
+* :mod:`repro.workloads` — bandwidthTest, PingPong, MAGMA-style QR /
+  Cholesky, MP2C
+* :mod:`repro.analysis` — per-figure experiment drivers and tables
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, units
+
+__all__ = ["errors", "units", "__version__"]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — figure-regeneration CLI (see repro.analysis.cli)."""
+
+import sys
+
+from .analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Analysis and experiment harness: figure series, tables, per-figure drivers."""
+
+from .series import FigureResult, Series
+from .tables import render_figure
+
+__all__ = ["FigureResult", "Series", "render_figure"]

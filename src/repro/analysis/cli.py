@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig05 [--quick] [--json out.json] [--no-check]
+    python -m repro run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing as _t
+
+from . import experiments as _exp
+
+#: Experiment name -> module with run()/check().
+EXPERIMENTS: dict[str, _t.Any] = {
+    name: getattr(_exp, name) for name in _exp.__all__
+}
+
+DESCRIPTIONS = {
+    "fig05": "H2D bandwidth of the copy protocols",
+    "fig06": "D2H bandwidth of the copy protocols",
+    "fig07": "H2D: node-attached vs network-attached GPU",
+    "fig08": "D2H: node-attached vs network-attached GPU",
+    "fig09": "multi-GPU QR factorization GFlop/s",
+    "fig10": "multi-GPU Cholesky factorization GFlop/s",
+    "fig11": "MP2C wall time, local vs dynamic",
+    "ext_tcp": "MPI vs rCUDA-style TCP remoting",
+    "ext_blocksize": "pipeline block-size ablation",
+    "ext_utilization": "static vs dynamic cluster job scheduling",
+    "ext_contention": "fabric contention vs accelerator streams",
+    "ext_faults": "accelerator failure and recovery",
+    "ext_gpudirect": "GPUDirect on/off ablation",
+    "ext_lookahead": "QR panel-lookahead ablation",
+    "ext_batch": "mixed batch workload on the live cluster",
+}
+
+
+def list_experiments(out: _t.TextIO | None = None) -> None:
+    out = out if out is not None else sys.stdout
+    for name in sorted(EXPERIMENTS):
+        out.write(f"{name:<18} {DESCRIPTIONS.get(name, '')}\n")
+
+
+def run_experiment(name: str, quick: bool = False, check: bool = True,
+                   json_path: str | None = None,
+                   out: _t.TextIO | None = None) -> None:
+    out = out if out is not None else sys.stdout
+    mod = EXPERIMENTS.get(name)
+    if mod is None:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try: {', '.join(sorted(EXPERIMENTS))}")
+    fig = mod.run(quick=quick)
+    out.write(fig.render() + "\n")
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(fig.to_dict(), fh, indent=1)
+        out.write(f"series written to {json_path}\n")
+    if check:
+        mod.check(fig)
+        out.write(f"{fig.fig_id}: shape check passed\n")
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures of 'A Dynamic Accelerator-Cluster "
+                    "Architecture' (ICPP 2012) on the simulated cluster.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="fig05..fig11, ext_*, or 'all'")
+    runp.add_argument("--quick", action="store_true",
+                      help="coarser sweeps for a fast look")
+    runp.add_argument("--json", dest="json_path", default=None,
+                      help="also write the series as JSON")
+    runp.add_argument("--no-check", action="store_true",
+                      help="skip the qualitative shape assertions")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        list_experiments()
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, quick=args.quick, check=not args.no_check,
+                       json_path=args.json_path if len(names) == 1 else None)
+    return 0

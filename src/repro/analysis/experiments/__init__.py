@@ -1,0 +1,30 @@
+"""One driver per paper figure (fig05 ... fig11) plus extension studies.
+
+Every module exposes ``run(quick=False) -> FigureResult`` regenerating the
+corresponding figure's series, and a ``check(result)`` helper asserting the
+qualitative shape the paper reports (who wins, crossovers, ratios).
+"""
+
+from . import (
+    ext_batch,
+    ext_blocksize,
+    ext_contention,
+    ext_faults,
+    ext_gpudirect,
+    ext_lookahead,
+    ext_tcp,
+    ext_utilization,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+)
+
+__all__ = [
+    "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "ext_tcp", "ext_blocksize", "ext_utilization", "ext_contention",
+    "ext_faults", "ext_gpudirect", "ext_lookahead", "ext_batch",
+]

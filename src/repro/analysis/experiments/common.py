@@ -1,0 +1,89 @@
+"""Shared pieces of the bandwidth experiments (Figures 5-8)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...cluster import Cluster, paper_testbed
+from ...core.blocksize import TransferConfig, pipeline, NAIVE_TRANSFER, AdaptiveBlockPolicy
+from ...units import KiB
+from ...workloads.bandwidth import paper_sizes, sweep
+from ...workloads.pingpong import run_pingpong
+from ..series import FigureResult
+
+
+def quick_or_full_sizes(quick: bool) -> list[int]:
+    """The figure x-axis: 1 KiB ... 64 MiB (coarser when quick)."""
+    return paper_sizes(step=16) if quick else paper_sizes(step=4)
+
+
+def measure_protocol(direction: str, transfer: TransferConfig,
+                     sizes: _t.Sequence[int]) -> list[float]:
+    """Bandwidth curve (MiB/s) of one middleware transfer protocol.
+
+    Builds a fresh paper-testbed cluster (1 CN + 1 AC), allocates the
+    accelerator, and sweeps the copy sizes.
+    """
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=1))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    ac = cluster.remote(0, handles[0], transfer=transfer)
+    points = sess.call(sweep(cluster.engine, ac, sizes, direction=direction))
+    return [p.mib_per_s for p in points]
+
+
+def measure_mpi_pingpong(sizes: _t.Sequence[int]) -> list[float]:
+    """The IMB PingPong upper bound on the same fabric (MiB/s)."""
+    cluster = Cluster(paper_testbed(n_compute=2, n_accelerators=0))
+    points = run_pingpong(cluster.engine, cluster.comm, 0, 1, sizes)
+    return [p.mib_per_s for p in points]
+
+
+def measure_local(direction: str, pinned: bool,
+                  sizes: _t.Sequence[int]) -> list[float]:
+    """CUDA-local (node-attached GPU) bandwidth curve (MiB/s)."""
+    from ...baselines import LocalAccelerator
+
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=0,
+                                    local_gpus=True))
+    node = cluster.compute_nodes[0]
+    local = LocalAccelerator(cluster.engine, node.local_gpu, node.cpu,
+                             pinned=pinned)
+    sess = cluster.session()
+    points = sess.call(sweep(cluster.engine, local, sizes, direction=direction))
+    return [p.mib_per_s for p in points]
+
+
+def protocol_set(direction: str) -> list[tuple[str, TransferConfig]]:
+    """The protocol curves of Fig. 5 (h2d) / Fig. 6 (d2h)."""
+    if direction == "h2d":
+        return [
+            ("naive", NAIVE_TRANSFER),
+            ("pipeline-128K", pipeline(128 * KiB)),
+            ("pipeline-256K", pipeline(256 * KiB)),
+            ("pipeline-512K", pipeline(512 * KiB)),
+            ("pipeline-128-512K", TransferConfig(policy=AdaptiveBlockPolicy())),
+        ]
+    return [
+        ("naive", NAIVE_TRANSFER),
+        ("pipeline-64K", pipeline(64 * KiB)),
+        ("pipeline-128K", pipeline(128 * KiB)),
+        ("pipeline-256K", pipeline(256 * KiB)),
+        ("pipeline-512K", pipeline(512 * KiB)),
+    ]
+
+
+def bandwidth_figure(fig_id: str, title: str, direction: str,
+                     quick: bool) -> FigureResult:
+    """Build the protocol-comparison figure for one direction."""
+    sizes = quick_or_full_sizes(quick)
+    xs = [n / KiB for n in sizes]
+    fig = FigureResult(
+        fig_id=fig_id, title=title,
+        xlabel="KiB", ylabel="Bandwidth [MiB/s]",
+        notes="dynamic architecture protocols vs the MPI upper bound",
+    )
+    for label, cfg in protocol_set(direction):
+        fig.add(f"dyn-{label}", xs, measure_protocol(direction, cfg, sizes))
+    fig.add("mpi-pingpong", xs, measure_mpi_pingpong(sizes))
+    return fig

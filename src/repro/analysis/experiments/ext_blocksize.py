@@ -1,0 +1,63 @@
+"""Extension B: pipeline block-size ablation.
+
+Sweeps the pipeline block size over a wide range at several message sizes
+and verifies the design rule behind the paper's tuned adaptive policy:
+the optimal block size grows with the message size (small blocks fill the
+pipeline faster; large blocks amortize per-block posting costs), and the
+shipped adaptive policy stays within a few percent of the per-size
+optimum.
+"""
+
+from __future__ import annotations
+
+from ...core.blocksize import AdaptiveBlockPolicy, TransferConfig, pipeline
+from ...units import KiB, MiB
+from ..series import FigureResult
+from .common import measure_protocol
+
+BLOCKS = [32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB,
+          1024 * KiB, 2048 * KiB]
+MESSAGES = [MiB, 8 * MiB, 64 * MiB]
+QUICK_MESSAGES = [MiB, 64 * MiB]
+
+
+def run(quick: bool = False) -> FigureResult:
+    messages = QUICK_MESSAGES if quick else MESSAGES
+    fig = FigureResult(
+        fig_id="ext-blocksize",
+        title="H2D pipeline block-size ablation",
+        xlabel="block KiB", ylabel="Bandwidth [MiB/s]",
+        notes="one curve per message size; adaptive policy as reference",
+    )
+    xs = [b / KiB for b in BLOCKS]
+    for msg in messages:
+        ys = []
+        for b in BLOCKS:
+            ys.append(measure_protocol("h2d", pipeline(b), [msg])[0])
+        fig.add(f"msg-{msg // MiB}MiB", xs, ys)
+        adaptive = measure_protocol(
+            "h2d", TransferConfig(policy=AdaptiveBlockPolicy()), [msg])[0]
+        fig.add(f"adaptive@{msg // MiB}MiB", [xs[0]], [adaptive])
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    from ...units import KiB as _K
+
+    def best_block(label):
+        s = fig.get(label)
+        return s.x[s.y.index(max(s.y))]
+
+    labels = [l for l in fig.labels() if l.startswith("msg-")]
+    bests = [best_block(l) for l in labels]
+    # The optimum never shrinks as messages grow.
+    assert bests == sorted(bests), bests
+    # Small messages prefer small blocks; huge messages prefer large ones.
+    assert bests[0] <= 128.0
+    assert bests[-1] >= 256.0
+    # The adaptive policy is near the optimum everywhere.
+    for label in labels:
+        msg = label.split("-")[1]
+        adaptive = fig.get(f"adaptive@{msg}").y[0]
+        best = max(fig.get(label).y)
+        assert adaptive >= 0.95 * best, (label, adaptive, best)

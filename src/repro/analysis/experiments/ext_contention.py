@@ -1,0 +1,116 @@
+"""Extension D: fabric contention vs the accelerator-to-node ratio.
+
+Sect. III warns that "host-device traffic and traffic between compute
+nodes share the same network bandwidth" and recommends keeping the number
+of accelerators smaller than the number of compute nodes.  This study
+measures the MPI bandwidth available to an application (PingPong between
+two compute nodes) while 0..3 other compute nodes simultaneously stream
+to their remote GPUs — the degradation grows with the number of active
+accelerator streams through the shared switch.
+"""
+
+from __future__ import annotations
+
+from ...cluster import Cluster, paper_testbed
+from ...mpisim import Phantom
+from ...units import MiB, mib_per_s
+from ..series import FigureResult
+
+_TAG = 321
+
+
+def _pingpong_under_load(n_streams: int, msg_bytes: int = 4 * MiB,
+                         rounds: int = 8,
+                         oversubscription: float = 1.0) -> float:
+    """App-visible PingPong bandwidth (MiB/s) with n_streams GPU streams.
+
+    Topology: cn0<->cn1 run the app PingPong; cn2..cn(1+n) each stream
+    continuously to their own accelerator.  The streams share only the
+    switch, not the app's endpoints — contention appears once flows to
+    and from the accelerator pool squeeze the fabric's per-port shares of
+    the accelerator endpoints... and, crucially for the paper's argument,
+    when streams originate at the *app's own* nodes.  To model the shared
+    environment, half the streams originate from cn0 itself (an app rank
+    feeding its accelerator while also communicating).
+    """
+    n_compute = 2 + n_streams
+    spec = paper_testbed(n_compute=n_compute,
+                         n_accelerators=max(n_streams, 0))
+    if oversubscription > 1.0:
+        import dataclasses
+        spec = dataclasses.replace(
+            spec, switch_oversubscription=oversubscription)
+    cluster = Cluster(spec)
+    engine = cluster.engine
+    sess = cluster.session()
+
+    stop = {"flag": False}
+
+    def streamer(cn_index, ac):
+        ptr = yield from ac.mem_alloc(8 * MiB)
+        while not stop["flag"]:
+            yield from ac.memcpy_h2d(ptr, Phantom(8 * MiB))
+
+    # Start background streams; stream i drives accelerator i.  Stream 0
+    # originates from cn0 (the app node) to expose endpoint contention.
+    for i in range(n_streams):
+        cn = 0 if i == 0 else 2 + i
+        handles = sess.call(cluster.arm_client(cn).alloc(count=1))
+        ac = cluster.remote(cn, handles[0])
+        engine.process(streamer(cn, ac), name=f"stream{i}")
+
+    result = {}
+
+    def ponger():
+        r = cluster.compute_rank(1)
+        for _ in range(rounds):
+            msg = yield from r.recv(source=0, tag=_TAG)
+            yield from r.send(0, _TAG, msg.payload)
+
+    def pinger():
+        r = cluster.compute_rank(0)
+        payload = Phantom(msg_bytes)
+        t0 = engine.now
+        for _ in range(rounds):
+            yield from r.send(1, _TAG, payload)
+            yield from r.recv(source=1, tag=_TAG)
+        half_rtt = (engine.now - t0) / (2 * rounds)
+        result["bw"] = mib_per_s(msg_bytes / half_rtt)
+        stop["flag"] = True
+
+    p1 = engine.process(ponger())
+    p0 = engine.process(pinger())
+    engine.run(until=engine.all_of([p0, p1]))
+    return result["bw"]
+
+
+def run(quick: bool = False) -> FigureResult:
+    max_streams = 2 if quick else 3
+    xs = list(range(max_streams + 1))
+    fig = FigureResult(
+        fig_id="ext-contention",
+        title="App MPI bandwidth vs concurrent accelerator streams",
+        xlabel="active GPU streams", ylabel="PingPong bandwidth [MiB/s]",
+        notes="4 MiB PingPong between two compute nodes; first stream "
+              "shares the app's own node; oversub-2 = switch core at "
+              "half bisection bandwidth",
+    )
+    fig.add("crossbar", xs, [_pingpong_under_load(s) for s in xs])
+    fig.add("oversub-2", xs,
+            [_pingpong_under_load(s, oversubscription=2.0) for s in xs])
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    xbar = fig.get("crossbar")
+    over = fig.get("oversub-2")
+    for s in (xbar, over):
+        # Bandwidth degrades monotonically as accelerator traffic grows...
+        for y0, y1 in zip(s.y, s.y[1:]):
+            assert y1 <= y0 * 1.001, s.y
+        # ...and the first co-located stream alone costs a noticeable share.
+        assert s.y[1] < 0.9 * s.y[0], s.y
+    # On the non-blocking crossbar only the co-located stream matters; an
+    # oversubscribed core makes every additional accelerator stream hurt
+    # the app — the regime behind the paper's low-ratio recommendation.
+    assert over.y[-1] < xbar.y[-1] * 0.98, (over.y, xbar.y)

@@ -1,0 +1,45 @@
+"""Extension F: the contribution of GPUDirect pinned-buffer sharing.
+
+The middleware's pipeline relies on GPUDirect v1 (Sect. IV): the NIC and
+the GPU share pinned pages, so a received block can be DMA'd to the GPU
+without an intermediate host copy.  This ablation disables the sharing —
+every block pays a CPU staging copy (MPI receive buffer -> pinned DMA
+buffer) — and measures what the technology buys across message sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...core.blocksize import AdaptiveBlockPolicy, TransferConfig
+from ...units import KiB
+from ..series import FigureResult
+from .common import measure_protocol, quick_or_full_sizes
+
+
+def run(quick: bool = False) -> FigureResult:
+    sizes = quick_or_full_sizes(quick)
+    xs = [n / KiB for n in sizes]
+    on = TransferConfig(policy=AdaptiveBlockPolicy(), gpudirect=True)
+    off = TransferConfig(policy=AdaptiveBlockPolicy(), gpudirect=False)
+    fig = FigureResult(
+        fig_id="ext-gpudirect",
+        title="H2D pipeline bandwidth with and without GPUDirect",
+        xlabel="KiB", ylabel="Bandwidth [MiB/s]",
+        notes="GPUDirect off = per-block host staging copy on the "
+              "accelerator CPU",
+    )
+    fig.add("gpudirect-on", xs, measure_protocol("h2d", on, sizes))
+    fig.add("gpudirect-off", xs, measure_protocol("h2d", off, sizes))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    on = fig.get("gpudirect-on")
+    off = fig.get("gpudirect-off")
+    # GPUDirect never hurts, and visibly helps somewhere.
+    gains = []
+    for x in on.x:
+        assert on.at(x) >= off.at(x) * 0.999, (x, on.at(x), off.at(x))
+        gains.append(on.at(x) / off.at(x))
+    assert max(gains) > 1.03, max(gains)

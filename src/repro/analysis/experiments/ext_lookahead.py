@@ -1,0 +1,48 @@
+"""Extension G: lookahead ablation for the multi-GPU QR driver.
+
+MAGMA hides the CPU panel factorization behind the GPUs' trailing updates
+(lookahead).  For the *dynamic* architecture this matters even more: the
+panel's download + broadcast crosses the network, so hiding it also hides
+the remoting bandwidth penalty.  This study measures QR throughput with
+and without lookahead on 1-3 network-attached GPUs.
+"""
+
+from __future__ import annotations
+
+import functools
+import typing as _t
+
+from ...workloads.linalg import qr_factorize
+from ..series import FigureResult
+from .fig09 import measure
+
+SIZES = [2048, 4032, 6048, 8064]
+QUICK_SIZES = [2048, 4032]
+
+
+def run(quick: bool = False) -> FigureResult:
+    sizes = QUICK_SIZES if quick else SIZES
+    fig = FigureResult(
+        fig_id="ext-lookahead",
+        title="QR with and without panel lookahead (network GPUs)",
+        xlabel="N", ylabel="GFlop/s",
+        notes="lookahead factors panel k+1 on the CPU while the GPUs "
+              "apply reflector k",
+    )
+    qr_la = functools.partial(qr_factorize, lookahead=True)
+    for g in (1, 2, 3):
+        fig.add(f"{g}gpu-plain", list(sizes), measure(qr_factorize, sizes, g))
+        fig.add(f"{g}gpu-lookahead", list(sizes), measure(qr_la, sizes, g))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    for g in (1, 2, 3):
+        plain = fig.get(f"{g}gpu-plain")
+        la = fig.get(f"{g}gpu-lookahead")
+        for x in plain.x:
+            # Lookahead never hurts...
+            assert la.at(x) >= plain.at(x) * 0.99, (g, x)
+        # ...and buys a measurable gain at the largest size.
+        top = max(plain.x)
+        assert la.at(top) > plain.at(top) * 1.02, (g, la.at(top), plain.at(top))

@@ -1,0 +1,56 @@
+"""Extension A: the MPI protocol vs rCUDA-style TCP remoting.
+
+Related work (Sect. II) notes that rCUDA v3.2 / MGP run over TCP/IP,
+"which may introduce higher overhead in comparison to our MPI-based
+solution".  This study quantifies the claim: the same middleware carried
+over TCP/IPoIB without GPUDirect (the socket-stack deployment) against
+the paper's MPI/InfiniBand configuration.
+"""
+
+from __future__ import annotations
+
+from ...baselines import RCUDA_TRANSFER, mpi_cluster, rcuda_like_cluster
+from ...core.blocksize import AdaptiveBlockPolicy, TransferConfig
+from ...units import KiB
+from ...workloads.bandwidth import sweep
+from ..series import FigureResult
+from .common import quick_or_full_sizes
+
+
+def _measure(cluster, transfer, sizes, direction="h2d"):
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    ac = cluster.remote(0, handles[0], transfer=transfer)
+    points = sess.call(sweep(cluster.engine, ac, sizes, direction=direction))
+    return [p.mib_per_s for p in points]
+
+
+def run(quick: bool = False) -> FigureResult:
+    sizes = quick_or_full_sizes(quick)
+    xs = [n / KiB for n in sizes]
+    fig = FigureResult(
+        fig_id="ext-tcp",
+        title="H2D bandwidth: MPI/InfiniBand middleware vs TCP remoting",
+        xlabel="KiB", ylabel="Bandwidth [MiB/s]",
+        notes="rCUDA-style: TCP/IPoIB transport, no GPUDirect",
+    )
+    fig.add("mpi-infiniband", xs,
+            _measure(mpi_cluster(), TransferConfig(policy=AdaptiveBlockPolicy()),
+                     sizes))
+    fig.add("tcp-rcuda-style", xs,
+            _measure(rcuda_like_cluster(), RCUDA_TRANSFER, sizes))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    mpi = fig.get("mpi-infiniband")
+    tcp = fig.get("tcp-rcuda-style")
+    # MPI wins at every size.
+    for x in mpi.x:
+        assert mpi.at(x) > tcp.at(x), (x, mpi.at(x), tcp.at(x))
+    # At 64 MiB the gap is at least the transport-bandwidth ratio (~2.3x).
+    big = 65536.0
+    assert mpi.at(big) / tcp.at(big) > 2.0
+    # Small messages suffer even more from TCP latency.
+    small = min(mpi.x)
+    assert mpi.at(small) / tcp.at(small) > 3.0

@@ -1,0 +1,66 @@
+"""Figure 5: host-to-device bandwidth of the copy protocols.
+
+Paper findings the shape check asserts:
+
+* all pipeline variants beat the naive protocol for large messages;
+* the 128 KiB pipeline wins between ~512 KiB and ~8 MiB;
+* larger blocks (512 KiB) win above ~9 MiB;
+* the adaptive 128-512K policy tracks the best fixed policy;
+* at 64 MiB the best pipeline approaches the MPI PingPong bound
+  (~2660 MiB/s), while naive plateaus near the harmonic mean of network
+  and PCIe bandwidth (~1800 MiB/s).
+"""
+
+from __future__ import annotations
+
+from ...units import KiB, MiB
+from ..series import FigureResult
+from .common import bandwidth_figure
+
+PAPER_MPI_PEAK_MIBS = 2660.0
+PAPER_NAIVE_PLATEAU_MIBS = 1815.0  # harmonic mean of 2660 and 5700
+
+
+def run(quick: bool = False) -> FigureResult:
+    """Regenerate Figure 5."""
+    return bandwidth_figure(
+        "fig05", "Host-to-device bandwidth, pipeline protocol + GPUDirect",
+        direction="h2d", quick=quick)
+
+
+def check(fig: FigureResult) -> None:
+    """Assert the qualitative shape of Figure 5."""
+    big = 65536.0  # 64 MiB in KiB
+    naive = fig.get("dyn-naive")
+    p128 = fig.get("dyn-pipeline-128K")
+    p512 = fig.get("dyn-pipeline-512K")
+    adaptive = fig.get("dyn-pipeline-128-512K")
+    mpi = fig.get("mpi-pingpong")
+
+    # MPI is the upper bound and approaches the paper's peak.
+    assert 2500 < mpi.at(big) <= 2700, mpi.at(big)
+    for s in (naive, p128, p512, adaptive):
+        assert s.at(big) <= mpi.at(big) * 1.001
+
+    # Pipelines beat naive for large messages.
+    for s in (p128, p512, adaptive):
+        assert s.at(big) > naive.at(big) * 1.2
+
+    # Naive plateaus near the serialization bound.
+    assert abs(naive.at(big) - PAPER_NAIVE_PLATEAU_MIBS) / PAPER_NAIVE_PLATEAU_MIBS < 0.15
+
+    # 128K wins in the medium range (paper: 500 KiB .. 8 MiB).
+    for x in (1024.0, 4096.0):
+        if x in p128.x:
+            assert p128.at(x) >= p512.at(x) * 0.999, (x, p128.at(x), p512.at(x))
+
+    # 512K wins for very large messages (paper: > 9 MiB).
+    assert p512.at(big) > p128.at(big)
+
+    # The adaptive policy tracks the best fixed policy everywhere.
+    for x in p128.x:
+        best = max(p128.at(x), p512.at(x))
+        assert adaptive.at(x) >= best * 0.97, (x, adaptive.at(x), best)
+
+    # Best pipeline approaches the MPI bound at 64 MiB.
+    assert adaptive.at(big) > 0.9 * mpi.at(big)

@@ -1,0 +1,43 @@
+"""Figure 6: device-to-host bandwidth of the copy protocols.
+
+Paper findings the shape check asserts:
+
+* pipelines beat naive for large messages;
+* unlike H2D, a single block size (128 KiB) is best at all sizes — the
+  front-end pre-posts its receives, so small blocks carry no per-block
+  posting penalty on the critical path;
+* typical sizes approach the MPI PingPong bound.
+"""
+
+from __future__ import annotations
+
+from ..series import FigureResult
+from .common import bandwidth_figure
+
+
+def run(quick: bool = False) -> FigureResult:
+    """Regenerate Figure 6."""
+    return bandwidth_figure(
+        "fig06", "Device-to-host bandwidth, pipeline protocol + GPUDirect",
+        direction="d2h", quick=quick)
+
+
+def check(fig: FigureResult) -> None:
+    """Assert the qualitative shape of Figure 6."""
+    big = 65536.0
+    naive = fig.get("dyn-naive")
+    p64 = fig.get("dyn-pipeline-64K")
+    p128 = fig.get("dyn-pipeline-128K")
+    p512 = fig.get("dyn-pipeline-512K")
+    mpi = fig.get("mpi-pingpong")
+
+    # Pipelines beat naive for large messages; MPI bounds everything.
+    for s in (p64, p128, p512):
+        assert s.at(big) > naive.at(big) * 1.2
+        assert s.at(big) <= mpi.at(big) * 1.001
+
+    # 128K is at least as good as larger blocks at every size (the paper's
+    # D2H finding), and close to the MPI bound at the top end.
+    for x in p128.x:
+        assert p128.at(x) >= p512.at(x) * 0.999, (x, p128.at(x), p512.at(x))
+    assert p128.at(big) > 0.9 * mpi.at(big)

@@ -1,0 +1,55 @@
+"""Figure 7: H2D — node-attached vs network-attached GPU.
+
+Series: CUDA local pinned (~5700 MiB/s peak), CUDA local pageable
+(~4700 MiB/s), MPI PingPong (~2660 MiB/s), and the dynamic architecture
+with the tuned adaptive pipeline.  The check asserts the strict ordering
+``local pinned > local pageable > MPI >= dynamic`` at large sizes and that
+the dynamic curve stays close to the MPI bound.
+"""
+
+from __future__ import annotations
+
+from ...core.blocksize import AdaptiveBlockPolicy, TransferConfig
+from ...units import KiB
+from ..series import FigureResult
+from .common import (
+    measure_local,
+    measure_mpi_pingpong,
+    measure_protocol,
+    quick_or_full_sizes,
+)
+
+
+def run(quick: bool = False) -> FigureResult:
+    sizes = quick_or_full_sizes(quick)
+    xs = [n / KiB for n in sizes]
+    fig = FigureResult(
+        fig_id="fig07",
+        title="H2D bandwidth: node-attached vs network-attached GPU",
+        xlabel="KiB", ylabel="Bandwidth [MiB/s]",
+    )
+    fig.add("cuda-local-pinned", xs, measure_local("h2d", True, sizes))
+    fig.add("cuda-local-pageable", xs, measure_local("h2d", False, sizes))
+    fig.add("mpi-pingpong", xs, measure_mpi_pingpong(sizes))
+    fig.add("dyn-pipeline-128-512K", xs,
+            measure_protocol("h2d", TransferConfig(policy=AdaptiveBlockPolicy()),
+                             sizes))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    big = 65536.0
+    pinned = fig.get("cuda-local-pinned")
+    pageable = fig.get("cuda-local-pageable")
+    mpi = fig.get("mpi-pingpong")
+    dyn = fig.get("dyn-pipeline-128-512K")
+
+    # Peaks match the paper's testbed numbers.
+    assert abs(pinned.at(big) - 5700) / 5700 < 0.05, pinned.at(big)
+    assert abs(pageable.at(big) - 4700) / 4700 < 0.05, pageable.at(big)
+    assert abs(mpi.at(big) - 2660) / 2660 < 0.05, mpi.at(big)
+
+    # Ordering at large sizes: local wins clearly; dynamic below MPI bound.
+    assert pinned.at(big) > pageable.at(big) > mpi.at(big) >= dyn.at(big) * 0.999
+    # The dynamic protocol stays close to its MPI upper bound.
+    assert dyn.at(big) > 0.9 * mpi.at(big)

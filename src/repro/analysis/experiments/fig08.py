@@ -1,0 +1,46 @@
+"""Figure 8: D2H — node-attached vs network-attached GPU.
+
+Same comparison as Figure 7 in the device-to-host direction, with the
+128 KiB pipeline (the best D2H configuration per Figure 6).
+"""
+
+from __future__ import annotations
+
+from ...core.blocksize import pipeline
+from ...units import KiB
+from ..series import FigureResult
+from .common import (
+    measure_local,
+    measure_mpi_pingpong,
+    measure_protocol,
+    quick_or_full_sizes,
+)
+
+
+def run(quick: bool = False) -> FigureResult:
+    sizes = quick_or_full_sizes(quick)
+    xs = [n / KiB for n in sizes]
+    fig = FigureResult(
+        fig_id="fig08",
+        title="D2H bandwidth: node-attached vs network-attached GPU",
+        xlabel="KiB", ylabel="Bandwidth [MiB/s]",
+    )
+    fig.add("cuda-local-pinned", xs, measure_local("d2h", True, sizes))
+    fig.add("cuda-local-pageable", xs, measure_local("d2h", False, sizes))
+    fig.add("mpi-pingpong", xs, measure_mpi_pingpong(sizes))
+    fig.add("dyn-pipeline-128K", xs,
+            measure_protocol("d2h", pipeline(128 * KiB), sizes))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    big = 65536.0
+    pinned = fig.get("cuda-local-pinned")
+    pageable = fig.get("cuda-local-pageable")
+    mpi = fig.get("mpi-pingpong")
+    dyn = fig.get("dyn-pipeline-128K")
+
+    assert abs(pinned.at(big) - 5700) / 5700 < 0.05
+    assert abs(pageable.at(big) - 4700) / 4700 < 0.05
+    assert pinned.at(big) > pageable.at(big) > mpi.at(big) >= dyn.at(big) * 0.999
+    assert dyn.at(big) > 0.9 * mpi.at(big)

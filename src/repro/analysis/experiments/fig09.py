@@ -1,0 +1,94 @@
+"""Figure 9: MAGMA-style QR factorization, local vs network-attached GPUs.
+
+Series: GFlop/s over matrix size N for a node-attached GPU ("CUDA local")
+and for 1/2/3 network-attached GPUs driven by one compute node.  Paper
+findings the check asserts:
+
+* one network-attached GPU never beats the local GPU (QR pays the
+  bandwidth penalty on every panel round trip);
+* with three network-attached GPUs and N = 10240 the speedup over one
+  local GPU is about 2.2x (we accept 1.7-2.7);
+* throughput grows with N for every configuration.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...baselines import LocalAccelerator
+from ...cluster import Cluster, paper_testbed
+from ...workloads.linalg import qr_factorize
+from ..series import FigureResult
+
+#: The paper's x axis.
+PAPER_SIZES = [1024, 2048, 3072, 4032, 5184, 6048, 7200, 8064, 8928, 10240]
+#: Subset used by default to keep the harness fast; the extremes and the
+#: middle preserve every shape assertion.
+DEFAULT_SIZES = [1024, 2048, 4032, 6048, 8064, 10240]
+QUICK_SIZES = [1024, 3072, 5184]
+
+NB = 128
+
+
+def _remote_setup(g: int):
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=g))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=g))
+    acs = [cluster.remote(0, h) for h in handles]
+    return cluster, sess, acs
+
+
+def _local_setup():
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=0,
+                                    local_gpus=True))
+    node = cluster.compute_nodes[0]
+    acs = [LocalAccelerator(cluster.engine, node.local_gpu, node.cpu)]
+    return cluster, cluster.session(), acs
+
+
+def measure(factorize: _t.Callable, sizes: _t.Sequence[int], g: int,
+            local: bool = False, nb: int = NB) -> list[float]:
+    """GFlop/s curve for one configuration (timing-only runs)."""
+    out = []
+    for n in sizes:
+        cluster, sess, acs = _local_setup() if local else _remote_setup(g)
+        res = sess.call(factorize(cluster.engine, cluster.compute_nodes[0].cpu,
+                                  acs, n, nb))
+        out.append(res.gflops)
+    return out
+
+
+def run(quick: bool = False, sizes: _t.Sequence[int] | None = None) -> FigureResult:
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else DEFAULT_SIZES
+    fig = FigureResult(
+        fig_id="fig09",
+        title="QR factorization: node-local GPU vs network-attached GPUs",
+        xlabel="N", ylabel="GFlop/s",
+        notes=f"blocked Householder QR, nb={NB}, timing-only mode",
+    )
+    fig.add("cuda-local", list(sizes), measure(qr_factorize, sizes, 1, local=True))
+    for g in (1, 2, 3):
+        fig.add(f"{g}-network-gpu", list(sizes),
+                measure(qr_factorize, sizes, g))
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    local = fig.get("cuda-local")
+    net1 = fig.get("1-network-gpu")
+    net3 = fig.get("3-network-gpu")
+    top = max(local.x)
+
+    # One remote GPU never beats the local one (bandwidth penalty).
+    for x in local.x:
+        assert net1.at(x) <= local.at(x) * 1.005, (x, net1.at(x), local.at(x))
+
+    # The headline: ~2.2x with three network GPUs at the largest size.
+    if top >= 8064:
+        speedup = net3.at(top) / local.at(top)
+        assert 1.7 < speedup < 2.7, speedup
+
+    # Throughput grows with problem size for every configuration.
+    for s in fig.series:
+        assert s.y == sorted(s.y), s.label

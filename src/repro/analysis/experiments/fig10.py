@@ -1,0 +1,56 @@
+"""Figure 10: MAGMA-style Cholesky factorization, local vs network GPUs.
+
+Same sweep as Figure 9 for ``dpotrf``.  Paper findings the check asserts:
+
+* Cholesky also gains from extra network-attached GPUs at large N;
+* Cholesky is *less* bandwidth-sensitive than QR: the relative gap between
+  one local and one network-attached GPU is smaller than QR's (with a
+  single GPU only nb x nb diagonal blocks cross the network per step).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...workloads.linalg import cholesky_factorize
+from ..series import FigureResult
+from .fig09 import DEFAULT_SIZES, NB, QUICK_SIZES, measure
+
+
+def run(quick: bool = False, sizes: _t.Sequence[int] | None = None) -> FigureResult:
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else DEFAULT_SIZES
+    fig = FigureResult(
+        fig_id="fig10",
+        title="Cholesky factorization: node-local GPU vs network-attached GPUs",
+        xlabel="N", ylabel="GFlop/s",
+        notes=f"blocked right-looking dpotrf, nb={NB}, timing-only mode",
+    )
+    fig.add("cuda-local", list(sizes),
+            measure(cholesky_factorize, sizes, 1, local=True))
+    for g in (1, 2, 3):
+        fig.add(f"{g}-network-gpu", list(sizes),
+                measure(cholesky_factorize, sizes, g))
+    return fig
+
+
+def check(fig: FigureResult, qr_fig: FigureResult | None = None) -> None:
+    local = fig.get("cuda-local")
+    net1 = fig.get("1-network-gpu")
+    net3 = fig.get("3-network-gpu")
+    top = max(local.x)
+
+    for x in local.x:
+        assert net1.at(x) <= local.at(x) * 1.005
+
+    # Multi-GPU still wins at scale.
+    if top >= 8064:
+        assert net3.at(top) / local.at(top) > 1.5
+
+    # Less bandwidth-sensitive than QR (compare relative 1-GPU gaps).
+    if qr_fig is not None:
+        qx = max(qr_fig.get("cuda-local").x)
+        qr_gap = 1.0 - (qr_fig.get("1-network-gpu").at(qx)
+                        / qr_fig.get("cuda-local").at(qx))
+        chol_gap = 1.0 - net1.at(top) / local.at(top)
+        assert chol_gap <= qr_gap + 1e-9, (chol_gap, qr_gap)

@@ -1,0 +1,85 @@
+"""Figure 11: MP2C wall time, node-attached vs network-attached GPUs.
+
+The paper runs the hybrid MPI/CUDA MP2C code with two processes on
+separate nodes — each using its local GPU ("CUDA local") or its own
+dedicated remote GPU ("Dynamic cluster architecture") — for 5.12 M,
+7.29 M, and 10 M particles (10 per collision cell, SRD every 5th of 300
+steps).  Finding: the dynamic architecture prolongs execution by **at
+most 4 %**.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...baselines import LocalAccelerator
+from ...cluster import Cluster, paper_testbed
+from ...workloads.mp2c import MP2CConfig, run_mp2c
+from ..series import FigureResult
+
+PAPER_COUNTS = [5_120_000, 7_290_000, 10_000_000]
+QUICK_COUNTS = [512_000, 1_000_000]
+N_RANKS = 2
+
+
+def _run(cfg: MP2CConfig, local: bool) -> float:
+    """One timed MP2C run; returns virtual seconds."""
+    if local:
+        cluster = Cluster(paper_testbed(n_compute=N_RANKS, n_accelerators=0,
+                                        local_gpus=True))
+        sess = cluster.session()
+        acs = [LocalAccelerator(cluster.engine, node.local_gpu, node.cpu)
+               for node in cluster.compute_nodes]
+    else:
+        cluster = Cluster(paper_testbed(n_compute=N_RANKS,
+                                        n_accelerators=N_RANKS))
+        sess = cluster.session()
+        acs = []
+        for i in range(N_RANKS):
+            handles = sess.call(cluster.arm_client(i).alloc(count=1))
+            acs.append(cluster.remote(i, handles[0]))
+    ranks = [cluster.compute_rank(i) for i in range(N_RANKS)]
+    res = sess.call(run_mp2c(cluster.engine, cluster.compute_nodes[0].cpu,
+                             ranks, acs, cfg))
+    return res.seconds
+
+
+def run(quick: bool = False,
+        counts: _t.Sequence[int] | None = None,
+        steps: int | None = None) -> FigureResult:
+    if counts is None:
+        counts = QUICK_COUNTS if quick else PAPER_COUNTS
+    if steps is None:
+        steps = 100 if quick else 300
+    fig = FigureResult(
+        fig_id="fig11",
+        title="MP2C wall time: CUDA local vs dynamic cluster architecture",
+        xlabel="particles", ylabel="Time [min]",
+        notes=f"{N_RANKS} ranks, SRD every 5th of {steps} steps, "
+              "timing-only mode",
+    )
+    local_y, dyn_y = [], []
+    for n in counts:
+        cfg = MP2CConfig(n_particles=n, steps=steps)
+        local_y.append(_run(cfg, local=True) / 60.0)
+        dyn_y.append(_run(cfg, local=False) / 60.0)
+    fig.add("cuda-local", list(counts), local_y)
+    fig.add("dynamic-architecture", list(counts), dyn_y)
+    return fig
+
+
+def check(fig: FigureResult) -> None:
+    local = fig.get("cuda-local")
+    dyn = fig.get("dynamic-architecture")
+    for x in local.x:
+        slowdown = dyn.at(x) / local.at(x) - 1.0
+        # The dynamic architecture costs something, but at most ~4%.
+        assert slowdown > 0.0, (x, slowdown)
+        assert slowdown <= 0.04 + 1e-9, (x, slowdown)
+    # Runtime grows with the particle count.
+    assert local.y == sorted(local.y)
+    assert dyn.y == sorted(dyn.y)
+    # Full-scale runs land in the paper's 10-25 minute range.
+    if max(local.x) >= 10_000_000:
+        assert 15 <= local.at(10_000_000) <= 30, local.at(10_000_000)
+        assert 8 <= local.at(5_120_000) <= 16, local.at(5_120_000)

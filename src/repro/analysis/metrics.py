@@ -1,0 +1,116 @@
+"""Cluster-wide metric collection and reporting.
+
+Aggregates the counters every component keeps (GPU busy time, DMA traffic,
+daemon request/byte/staging statistics, fabric volume, ARM assignment
+time) into one :class:`ClusterReport` — the observability a site operator
+of the dynamic architecture would want, and the data source for the
+utilization arguments in the paper's Sect. III.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..units import fmt_size, fmt_time, mib_per_s
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.builder import Cluster
+
+
+@dataclasses.dataclass
+class AcceleratorMetrics:
+    """Per-accelerator utilization and traffic."""
+
+    ac_id: int
+    name: str
+    state: str
+    assigned_seconds: float
+    gpu_busy_seconds: float
+    kernels_launched: int
+    dma_bytes: int
+    daemon_requests: int
+    bytes_h2d: int
+    bytes_d2h: int
+    staging_peak: int
+
+    def gpu_utilization(self, elapsed: float) -> float:
+        return self.gpu_busy_seconds / elapsed if elapsed > 0 else 0.0
+
+    def assignment_fraction(self, elapsed: float) -> float:
+        return self.assigned_seconds / elapsed if elapsed > 0 else 0.0
+
+
+@dataclasses.dataclass
+class ClusterReport:
+    """Snapshot of a cluster's cumulative activity."""
+
+    elapsed: float
+    accelerators: list[AcceleratorMetrics]
+    fabric_bytes: int
+    fabric_messages: int
+    pool_utilization: float
+
+    @property
+    def total_offload_bytes(self) -> int:
+        return sum(a.bytes_h2d + a.bytes_d2h for a in self.accelerators)
+
+    @property
+    def mean_gpu_utilization(self) -> float:
+        if not self.accelerators or self.elapsed <= 0:
+            return 0.0
+        return sum(a.gpu_busy_seconds for a in self.accelerators) / (
+            self.elapsed * len(self.accelerators))
+
+    def fabric_mean_bandwidth(self) -> float:
+        """Average offered load on the fabric (bytes/s)."""
+        return self.fabric_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"cluster report @ t={fmt_time(self.elapsed)}",
+            f"  fabric: {fmt_size(self.fabric_bytes)} in "
+            f"{self.fabric_messages} messages "
+            f"({mib_per_s(self.fabric_mean_bandwidth()):.1f} MiB/s mean load)",
+            f"  accelerator pool: {self.pool_utilization * 100:.1f}% assigned, "
+            f"{self.mean_gpu_utilization * 100:.1f}% GPU-busy",
+        ]
+        for a in self.accelerators:
+            lines.append(
+                f"  {a.name} [{a.state}]: "
+                f"assigned {a.assignment_fraction(self.elapsed) * 100:.0f}%, "
+                f"busy {a.gpu_utilization(self.elapsed) * 100:.0f}%, "
+                f"{a.kernels_launched} kernels, "
+                f"h2d {fmt_size(a.bytes_h2d)}, d2h {fmt_size(a.bytes_d2h)}, "
+                f"staging peak {fmt_size(a.staging_peak)}")
+        return "\n".join(lines)
+
+
+def collect(cluster: "Cluster") -> ClusterReport:
+    """Build a :class:`ClusterReport` from a cluster's current state."""
+    elapsed = cluster.engine.now
+    snap = cluster.arm.snapshot()
+    accelerators = []
+    for node, daemon in zip(cluster.accelerator_nodes, cluster.daemons):
+        info = snap.get(node.ac_id, {})
+        accelerators.append(AcceleratorMetrics(
+            ac_id=node.ac_id,
+            name=node.name,
+            state=info.get("state", "unknown"),
+            assigned_seconds=info.get("assigned_seconds", 0.0),
+            gpu_busy_seconds=node.gpu.busy_time,
+            kernels_launched=node.gpu.kernels_launched,
+            dma_bytes=node.gpu.dma.bytes_copied,
+            daemon_requests=daemon.stats.requests,
+            bytes_h2d=daemon.stats.bytes_h2d,
+            bytes_d2h=daemon.stats.bytes_d2h,
+            staging_peak=daemon.stats.staging_peak,
+        ))
+    return ClusterReport(
+        elapsed=elapsed,
+        accelerators=accelerators,
+        fabric_bytes=cluster.fabric.bytes_moved,
+        fabric_messages=cluster.fabric.messages_sent,
+        pool_utilization=cluster.arm.utilization(),
+    )

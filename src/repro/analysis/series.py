@@ -1,0 +1,86 @@
+"""Result containers for the experiment harness.
+
+Each paper figure is regenerated as a :class:`FigureResult`: a set of named
+series over a common x-axis, with enough metadata to print the same
+rows/curves the paper plots and to record paper-vs-measured comparisons in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass
+class Series:
+    """One labeled curve."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values but "
+                f"{len(self.y)} y values")
+
+    def at(self, x: float) -> float:
+        """The y value at an exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError:
+            raise KeyError(f"series {self.label!r} has no point at x={x}") from None
+
+    def peak(self) -> float:
+        return max(self.y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclasses.dataclass
+class FigureResult:
+    """A regenerated figure: several series plus axis metadata."""
+
+    fig_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = dataclasses.field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, x: _t.Sequence[float], y: _t.Sequence[float]) -> Series:
+        s = Series(label, list(x), list(y))
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"{self.fig_id} has no series {label!r}; "
+            f"available: {[s.label for s in self.series]}")
+
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for EXPERIMENTS.md bookkeeping)."""
+        return {
+            "fig_id": self.fig_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "notes": self.notes,
+            "series": [
+                {"label": s.label, "x": s.x, "y": s.y} for s in self.series
+            ],
+        }
+
+    def render(self, fmt: str = "{:>10.1f}") -> str:
+        """ASCII table: one row per x value, one column per series."""
+        from .tables import render_figure
+        return render_figure(self, fmt)

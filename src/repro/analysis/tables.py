@@ -1,0 +1,49 @@
+"""ASCII rendering of figure results.
+
+The benchmark harness prints these tables; they contain the same series the
+paper's figures plot, one row per x value.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .series import FigureResult
+
+
+def _fmt_x(x: float) -> str:
+    if float(x).is_integer():
+        return f"{int(x)}"
+    return f"{x:g}"
+
+
+def render_figure(fig: "FigureResult", fmt: str = "{:>10.1f}") -> str:
+    """Render a FigureResult as a fixed-width ASCII table."""
+    xs: list[float] = []
+    for s in fig.series:
+        for x in s.x:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+
+    x_width = max(len(fig.xlabel), max((len(_fmt_x(x)) for x in xs), default=1)) + 2
+    col_width = max(12, max((len(s.label) for s in fig.series), default=8) + 2)
+
+    lines = [f"{fig.fig_id}: {fig.title}", f"[{fig.ylabel}]"]
+    header = fig.xlabel.rjust(x_width) + "".join(
+        s.label.rjust(col_width) for s in fig.series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        row = _fmt_x(x).rjust(x_width)
+        for s in fig.series:
+            try:
+                cell = fmt.format(s.at(x)).rjust(col_width)
+            except KeyError:
+                cell = "-".rjust(col_width)
+            row += cell
+        lines.append(row)
+    if fig.notes:
+        lines.append(f"note: {fig.notes}")
+    return "\n".join(lines)

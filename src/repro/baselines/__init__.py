@@ -1,0 +1,11 @@
+"""Comparison baselines: node-attached GPUs and TCP-based remoting."""
+
+from .local import LocalAccelerator
+from .rcuda import RCUDA_TRANSFER, mpi_cluster, rcuda_like_cluster
+
+__all__ = [
+    "LocalAccelerator",
+    "RCUDA_TRANSFER",
+    "rcuda_like_cluster",
+    "mpi_cluster",
+]

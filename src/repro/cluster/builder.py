@@ -1,0 +1,117 @@
+"""Cluster assembly: engine + fabric + nodes + MPI world + middleware.
+
+:class:`Cluster` wires a complete simulated installation from a
+:class:`~repro.cluster.specs.ClusterSpec`:
+
+* one fabric endpoint per compute node, per accelerator node, and for the
+  ARM;
+* one global communicator whose ranks are laid out as
+  ``[compute 0..C-1, daemons C..C+A-1, ARM C+A]``;
+* a running back-end daemon on every accelerator node and the ARM service.
+
+Application code then obtains handles through :meth:`arm_client` and drives
+accelerators through :meth:`remote`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..core.arm import ArmClient, ResourceManager
+from ..core.api import RemoteAccelerator
+from ..core.blocksize import TransferConfig
+from ..core.daemon import Daemon
+from ..core.protocol import AcceleratorHandle
+from ..core.session import SyncSession
+from ..errors import ClusterConfigError
+from ..mpisim import World
+from ..netsim import Fabric
+from ..sim import Engine, Tracer, NULL_TRACER
+from .node import AcceleratorNode, ComputeNode
+from .specs import ClusterSpec
+
+
+class Cluster:
+    """A fully assembled simulated accelerator cluster."""
+
+    def __init__(self, spec: ClusterSpec, tracer: Tracer = NULL_TRACER):
+        self.spec = spec
+        self.tracer = tracer
+        self.engine = Engine()
+        self.fabric = Fabric(self.engine, spec.network, tracer)
+        self.fabric.set_core_capacity(spec.core_capacity_Bps())
+        self.world = World(self.engine, self.fabric, tracer)
+
+        # Endpoints.
+        cn_eps = [self.fabric.add_endpoint(f"cn{i}")
+                  for i in range(spec.n_compute)]
+        ac_eps = [self.fabric.add_endpoint(f"ac{j}")
+                  for j in range(spec.n_accelerators)]
+        arm_ep = self.fabric.add_endpoint("arm")
+
+        # Global communicator: [compute..., daemons..., arm].
+        self.comm = self.world.create_comm(cn_eps + ac_eps + [arm_ep],
+                                           name="cluster")
+        self.arm_rank_index = spec.n_compute + spec.n_accelerators
+
+        # Nodes.
+        self.compute_nodes: list[ComputeNode] = []
+        for i, ep in enumerate(cn_eps):
+            node = ComputeNode(self.engine, f"cn{i}", spec.compute, ep)
+            node.rank = self.comm.rank(i)
+            self.compute_nodes.append(node)
+
+        self.accelerator_nodes: list[AcceleratorNode] = []
+        self.daemons: list[Daemon] = []
+        for j, ep in enumerate(ac_eps):
+            node = AcceleratorNode(self.engine, j, f"ac{j}", spec.accelerator, ep)
+            node.rank = self.comm.rank(spec.n_compute + j)
+            self.accelerator_nodes.append(node)
+            self.daemons.append(Daemon(node, node.rank))
+
+        # The ARM service.
+        self.arm = ResourceManager(
+            self.comm.rank(self.arm_rank_index),
+            [(node.ac_id, node.rank.index) for node in self.accelerator_nodes],
+        )
+
+    # -- application-facing helpers --------------------------------------
+    def compute_rank(self, cn_index: int):
+        """The MPI rank handle of compute node ``cn_index``."""
+        return self.compute_nodes[cn_index].rank
+
+    def arm_client(self, cn_index: int) -> ArmClient:
+        """A resource-management API client for one compute node."""
+        return ArmClient(self.compute_rank(cn_index), self.arm_rank_index)
+
+    def remote(self, cn_index: int, handle: AcceleratorHandle,
+               transfer: TransferConfig | None = None) -> RemoteAccelerator:
+        """A computation-API front-end for one assigned accelerator."""
+        if transfer is None:
+            return RemoteAccelerator(self.compute_rank(cn_index), handle)
+        return RemoteAccelerator(self.compute_rank(cn_index), handle,
+                                 transfer=transfer)
+
+    def accelerator_for_handle(self, handle: AcceleratorHandle) -> AcceleratorNode:
+        """The accelerator node behind a handle (for inspection in tests)."""
+        node = self.accelerator_nodes[handle.ac_id]
+        if node.rank.index != handle.daemon_rank:
+            raise ClusterConfigError("stale accelerator handle")
+        return node
+
+    def session(self) -> SyncSession:
+        """A synchronous driver over this cluster's engine."""
+        return SyncSession(self.engine)
+
+    def run(self, until: _t.Any = None):
+        """Advance the simulation (see :meth:`repro.sim.Engine.run`)."""
+        return self.engine.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Cluster {self.spec.n_compute}CN + "
+                f"{self.spec.n_accelerators}AC on {self.spec.network.name}>")
+
+
+def build(spec: ClusterSpec, tracer: Tracer = NULL_TRACER) -> Cluster:
+    """Convenience constructor."""
+    return Cluster(spec, tracer)

@@ -1,0 +1,67 @@
+"""Node objects: compute nodes and accelerator nodes.
+
+A :class:`ComputeNode` is where application processes run; it may carry a
+node-attached GPU for the static-architecture baseline.  An
+:class:`AcceleratorNode` is the paper's network-attached accelerator
+(Figure 2): an energy-efficient CPU, RAM, a NIC on the cluster fabric, and
+a GPU — controlled by the middleware's back-end daemon.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..gpusim import GPUDevice
+from ..netsim import Endpoint
+from ..sim import Engine
+from .specs import AcceleratorNodeSpec, ComputeNodeSpec
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..mpisim import RankHandle
+
+
+class ComputeNode:
+    """A general-purpose node of the cluster."""
+
+    def __init__(self, engine: Engine, name: str, spec: ComputeNodeSpec,
+                 endpoint: Endpoint):
+        self.engine = engine
+        self.name = name
+        self.spec = spec
+        self.endpoint = endpoint
+        #: Node-attached GPU (static baseline); None in the dynamic setup.
+        self.local_gpu: GPUDevice | None = (
+            GPUDevice(engine, spec.local_gpu, name=f"{name}.gpu")
+            if spec.local_gpu is not None else None
+        )
+        #: MPI rank of the application process on this node (set by builder).
+        self.rank: "RankHandle | None" = None
+
+    @property
+    def cpu(self):
+        return self.spec.cpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ComputeNode {self.name}>"
+
+
+class AcceleratorNode:
+    """A network-attached accelerator: CPU + RAM + NIC + GPU."""
+
+    def __init__(self, engine: Engine, ac_id: int, name: str,
+                 spec: AcceleratorNodeSpec, endpoint: Endpoint):
+        self.engine = engine
+        self.ac_id = ac_id
+        self.name = name
+        self.spec = spec
+        self.endpoint = endpoint
+        self.gpu = GPUDevice(engine, spec.gpu, name=f"{name}.gpu")
+        #: MPI rank of the daemon on this node (set by builder).
+        self.rank: "RankHandle | None" = None
+
+    @property
+    def cpu(self):
+        return self.spec.cpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AcceleratorNode {self.name} (ac{self.ac_id})>"

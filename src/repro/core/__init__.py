@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the dynamic accelerator middleware.
+
+* :class:`RemoteAccelerator` — the front-end ``ac*`` computation API,
+* :class:`Daemon` — the back-end daemon on every accelerator node,
+* :class:`ResourceManager` / :class:`ArmClient` — the accelerator resource
+  manager and its resource-management API,
+* transfer protocols (naive / pipeline) and block-size policies,
+* fault injection, and a synchronous session driver for scripts.
+"""
+
+from .api import RemoteAccelerator, run_parallel
+from .arm import AcceleratorRecord, AcceleratorState, ArmClient, ResourceManager
+from .batch import BatchJobRecord, BatchJobSpec, BatchRunner, JobContext
+from .blocksize import (
+    AdaptiveBlockPolicy,
+    BlockPolicy,
+    DEFAULT_TRANSFER,
+    FixedBlockPolicy,
+    NAIVE_TRANSFER,
+    TransferConfig,
+    pipeline,
+)
+from .daemon import Daemon, DaemonStats
+from .faults import FaultInjector
+from .protocol import (
+    AcceleratorHandle,
+    Op,
+    Request,
+    Response,
+    Status,
+    TAG_ARM,
+    TAG_REQUEST,
+    data_tag,
+    next_request_id,
+    reply_tag,
+)
+from .session import SyncSession
+from .transfer import assemble_chunks, payload_meta, slice_chunks
+
+__all__ = [
+    "RemoteAccelerator",
+    "run_parallel",
+    "BatchRunner",
+    "BatchJobSpec",
+    "BatchJobRecord",
+    "JobContext",
+    "Daemon",
+    "DaemonStats",
+    "ResourceManager",
+    "ArmClient",
+    "AcceleratorState",
+    "AcceleratorRecord",
+    "AcceleratorHandle",
+    "FaultInjector",
+    "TransferConfig",
+    "BlockPolicy",
+    "FixedBlockPolicy",
+    "AdaptiveBlockPolicy",
+    "DEFAULT_TRANSFER",
+    "NAIVE_TRANSFER",
+    "pipeline",
+    "SyncSession",
+    "Op",
+    "Status",
+    "Request",
+    "Response",
+    "TAG_REQUEST",
+    "TAG_ARM",
+    "reply_tag",
+    "data_tag",
+    "next_request_id",
+    "payload_meta",
+    "slice_chunks",
+    "assemble_chunks",
+]

@@ -1,0 +1,216 @@
+"""The middleware front-end: the ``ac*`` computation API.
+
+:class:`RemoteAccelerator` is what application code on a compute node uses
+to drive one assigned accelerator — the paper's Listing 2 surface:
+
+=====================  =========================================
+Paper API              This library
+=====================  =========================================
+``acMemAlloc``         ``yield from ac.mem_alloc(nbytes)``
+``acMemCpy`` (H2D)     ``yield from ac.memcpy_h2d(ptr, data)``
+``acMemCpy`` (D2H)     ``yield from ac.memcpy_d2h(ptr, nbytes)``
+``acKernelCreate``     ``yield from ac.kernel_create(name)``
+``acKernelSetArgs``    ``ac.kernel_set_args(name, params)``
+``acKernelRun``        ``yield from ac.kernel_run(name)``
+``acMemFree``          ``yield from ac.mem_free(ptr)``
+=====================  =========================================
+
+All remote calls are generators to be driven inside a simulation process
+(or through :class:`~repro.core.session.SyncSession` in plain scripts).
+Every operation costs exactly two MPI messages (request + response) plus
+data messages for bulk transfers, matching Sect. IV.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import MiddlewareError
+from ..mpisim import Phantom, RankHandle, payload_nbytes
+from .blocksize import DEFAULT_TRANSFER, TransferConfig
+from .protocol import (
+    AcceleratorHandle,
+    Op,
+    Request,
+    Response,
+    Status,
+    TAG_REQUEST,
+    data_tag,
+    next_request_id,
+    reply_tag,
+)
+from .transfer import assemble_chunks, payload_meta, slice_chunks
+
+
+class RemoteAccelerator:
+    """Front-end bound to one compute-node rank and one accelerator handle."""
+
+    def __init__(self, rank: RankHandle, handle: AcceleratorHandle,
+                 transfer: TransferConfig = DEFAULT_TRANSFER):
+        self.rank = rank
+        self.handle = handle
+        self.transfer = transfer
+        self._kernels: dict[str, dict] = {}  # name -> staged args
+        #: Cumulative accounting for the experiment harness.
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+        self.requests = 0
+
+    # -- plumbing -------------------------------------------------------
+    def _rpc(self, op: Op, params: dict):
+        """One request/response round trip (generator). Returns Response."""
+        req = Request(op=op, req_id=next_request_id(),
+                      reply_to=self.rank.index, params=params)
+        self.requests += 1
+        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
+        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
+                                        tag=reply_tag(req.req_id))
+        resp: Response = msg.payload
+        resp.raise_for_status()
+        return resp
+
+    # -- memory management ----------------------------------------------
+    def mem_alloc(self, nbytes: int):
+        """Allocate ``nbytes`` of device memory; returns the device address."""
+        resp = yield from self._rpc(Op.MEM_ALLOC, {"nbytes": int(nbytes)})
+        return resp.value
+
+    def mem_free(self, addr: int):
+        """Release a device allocation."""
+        yield from self._rpc(Op.MEM_FREE, {"addr": addr})
+
+    # -- data movement ----------------------------------------------------
+    def memcpy_h2d(self, dst: int, payload: _t.Any,
+                   transfer: TransferConfig | None = None, offset: int = 0):
+        """Copy a host payload to device address ``dst`` (+ ``offset``).
+
+        ``payload`` is a numpy array, bytes, or a
+        :class:`~repro.mpisim.Phantom` for timing-only transfers.
+        """
+        cfg = transfer or self.transfer
+        nbytes = payload_nbytes(payload)
+        blocks = cfg.plan_blocks(nbytes, "h2d")
+        req = Request(op=Op.MEMCPY_H2D, req_id=next_request_id(),
+                      reply_to=self.rank.index,
+                      params={"dst": dst, "offset": int(offset),
+                              "blocks": blocks,
+                              "data_tag": 0, "pinned": cfg.pinned,
+                              "gpudirect": cfg.gpudirect,
+                              "meta": payload_meta(payload) if offset == 0 else None})
+        dtag = data_tag(req.req_id)
+        req.params["data_tag"] = dtag
+        self.requests += 1
+        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
+        # Stream the blocks; eager because the header announced them, so the
+        # daemon's pinned ring buffers count as pre-posted receives.  Each
+        # block pays the per-block registration/posting surcharge.
+        for chunk in slice_chunks(payload, blocks):
+            self.rank.isend(self.handle.daemon_rank, dtag, chunk, eager=True,
+                            injection_s=cfg.h2d_block_post_s)
+        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
+                                        tag=reply_tag(req.req_id))
+        resp: Response = msg.payload
+        resp.raise_for_status()
+        self.bytes_h2d += nbytes
+
+    def memcpy_d2h(self, src: int, nbytes: int,
+                   transfer: TransferConfig | None = None, offset: int = 0):
+        """Copy ``nbytes`` from device address ``src`` (+ ``offset``) back.
+
+        Returns a typed array when the whole buffer is read and it has
+        recorded dtype/shape, a flat uint8 array otherwise, or a Phantom
+        for timing-only buffers.
+        """
+        cfg = transfer or self.transfer
+        blocks = cfg.plan_blocks(int(nbytes), "d2h")
+        req = Request(op=Op.MEMCPY_D2H, req_id=next_request_id(),
+                      reply_to=self.rank.index,
+                      params={"src": src, "offset": int(offset),
+                              "blocks": blocks,
+                              "data_tag": 0, "pinned": cfg.pinned,
+                              "gpudirect": cfg.gpudirect,
+                              "block_post_s": cfg.d2h_block_post_s})
+        dtag = data_tag(req.req_id)
+        req.params["data_tag"] = dtag
+        self.requests += 1
+        # Pre-post all block receives (the protocol knows the block count),
+        # then issue the request.
+        block_reqs = [self.rank.irecv(source=self.handle.daemon_rank, tag=dtag)
+                      for _ in blocks]
+        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
+        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
+                                        tag=reply_tag(req.req_id))
+        resp: Response = msg.payload
+        # On failure the daemon sent no data; the pre-posted receives are
+        # abandoned (their unique tag is never reused).
+        resp.raise_for_status()
+        if block_reqs:
+            yield self.rank.comm.engine.all_of([r.done for r in block_reqs])
+        chunks = [r.message.payload for r in block_reqs]
+        self.bytes_d2h += int(nbytes)
+        return assemble_chunks(chunks, blocks, resp.value)
+
+    def peer_put(self, src: int, nbytes: int, peer: "RemoteAccelerator",
+                 peer_addr: int, transfer: TransferConfig | None = None):
+        """Copy device memory directly to another accelerator.
+
+        The data flows accelerator-to-accelerator over the fabric without
+        touching this compute node — the capability the paper highlights as
+        impossible with CUDA 4.2 / OpenCL 1.2 (Sect. III-C).
+        """
+        cfg = transfer or self.transfer
+        blocks = cfg.plan_blocks(int(nbytes), "d2h")
+        resp = yield from self._rpc(Op.PEER_PUT, {
+            "src": src, "blocks": blocks,
+            "peer_rank": peer.handle.daemon_rank, "peer_addr": peer_addr,
+            "pinned": cfg.pinned, "gpudirect": cfg.gpudirect,
+            "block_post_s": cfg.d2h_block_post_s,
+        })
+        return resp
+
+    # -- kernels ----------------------------------------------------------
+    def kernel_create(self, name: str):
+        """Declare intent to run kernel ``name`` (validates it remotely)."""
+        yield from self._rpc(Op.KERNEL_CREATE, {"name": name})
+        self._kernels[name] = {}
+
+    def kernel_set_args(self, name: str, params: dict) -> None:
+        """Stage launch parameters locally (sent with the next run)."""
+        if name not in self._kernels:
+            raise MiddlewareError(
+                f"kernel {name!r} was not created on this accelerator")
+        self._kernels[name] = dict(params)
+
+    def kernel_run(self, name: str, params: dict | None = None,
+                   real: bool = True):
+        """Launch the kernel and wait for completion; returns its result."""
+        if params is None:
+            if name not in self._kernels:
+                raise MiddlewareError(
+                    f"kernel {name!r} was not created on this accelerator")
+            params = self._kernels[name]
+        resp = yield from self._rpc(Op.KERNEL_RUN, {
+            "name": name, "params": params, "real": real})
+        return resp.value
+
+    # -- misc -------------------------------------------------------------
+    def ping(self):
+        """Round-trip liveness probe; returns the one-way-ish RTT payload."""
+        resp = yield from self._rpc(Op.PING, {})
+        return resp.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RemoteAccelerator ac{self.handle.ac_id} via rank {self.rank.index}>"
+
+
+def run_parallel(engine, generators: _t.Sequence[_t.Iterator]):
+    """Run several front-end operations concurrently (generator).
+
+    Spawns each generator as its own process and waits for all — e.g. the
+    multi-GPU factorizations use this to drive their accelerators in
+    parallel from one compute-node process.  Returns the list of results.
+    """
+    procs = [engine.process(g) for g in generators]
+    if procs:
+        yield engine.all_of(procs)
+    return [p.value for p in procs]

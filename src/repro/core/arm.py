@@ -1,0 +1,275 @@
+"""The Accelerator Resource Manager (ARM) and its client API.
+
+The ARM (Sect. III-B2) maintains which accelerators are free, assigned, or
+broken, and answers allocation requests from compute nodes with exclusive
+:class:`~repro.core.protocol.AcceleratorHandle` s.  Both assignment
+strategies of Figure 3 are supported:
+
+* **static** — accelerators are requested before the job's compute phase
+  starts and held for the job's duration;
+* **dynamic** — compute-node processes allocate and release at runtime via
+  the resource-management API (:class:`ArmClient`); unsatisfiable requests
+  may wait FIFO until a release frees capacity.
+
+The ARM also records per-accelerator assignment time so the economy claim
+(improved utilization) is measurable.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+import typing as _t
+
+from ..errors import AllocationError
+from ..mpisim import RankHandle
+from .protocol import (
+    AcceleratorHandle,
+    Op,
+    Request,
+    Response,
+    Status,
+    TAG_ARM,
+    next_request_id,
+    reply_tag,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import AcceleratorNode
+
+
+class AcceleratorState(enum.Enum):
+    FREE = "free"
+    ASSIGNED = "assigned"
+    BROKEN = "broken"
+
+
+@dataclasses.dataclass
+class AcceleratorRecord:
+    """ARM-side bookkeeping for one accelerator."""
+
+    ac_id: int
+    daemon_rank: int
+    state: AcceleratorState = AcceleratorState.FREE
+    owner_rank: int | None = None
+    job: str | None = None
+    #: Total seconds spent in ASSIGNED state (utilization accounting).
+    assigned_seconds: float = 0.0
+    _assigned_at: float | None = None
+
+    def handle(self) -> AcceleratorHandle:
+        return AcceleratorHandle(ac_id=self.ac_id, daemon_rank=self.daemon_rank)
+
+
+class ResourceManager:
+    """The ARM service process."""
+
+    def __init__(self, rank: RankHandle,
+                 accelerators: _t.Sequence[tuple[int, int]]):
+        """``accelerators`` is a list of (ac_id, daemon_rank) pairs."""
+        self.rank = rank
+        self.engine = rank.comm.engine
+        self.records: dict[int, AcceleratorRecord] = {
+            ac_id: AcceleratorRecord(ac_id=ac_id, daemon_rank=daemon_rank)
+            for ac_id, daemon_rank in accelerators
+        }
+        #: FIFO of allocation requests waiting for capacity.
+        self._wait_queue: collections.deque[tuple[Request]] = collections.deque()
+        self._stopped = False
+        self.proc = self.engine.process(self._serve(), name="arm")
+
+    # -- queries (direct, for tests and metrics) -------------------------
+    def free_count(self) -> int:
+        return sum(1 for r in self.records.values()
+                   if r.state == AcceleratorState.FREE)
+
+    def snapshot(self) -> dict[int, dict]:
+        """Current registry state, finalized assignment times included."""
+        out = {}
+        for r in self.records.values():
+            assigned = r.assigned_seconds
+            if r._assigned_at is not None:
+                assigned += self.engine.now - r._assigned_at
+            out[r.ac_id] = {
+                "state": r.state.value,
+                "owner_rank": r.owner_rank,
+                "job": r.job,
+                "assigned_seconds": assigned,
+            }
+        return out
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Mean assigned-time fraction over all accelerators."""
+        total = elapsed if elapsed is not None else self.engine.now
+        if total <= 0 or not self.records:
+            return 0.0
+        snap = self.snapshot()
+        return sum(v["assigned_seconds"] for v in snap.values()) / (
+            total * len(self.records))
+
+    # -- service loop -----------------------------------------------------
+    def _serve(self):
+        while not self._stopped:
+            msg = yield from self.rank.recv(tag=TAG_ARM)
+            req: Request = msg.payload
+            if req.op == Op.SHUTDOWN:
+                self._reply(req, Response(req.req_id, Status.OK))
+                self._stopped = True
+                break
+            handler = {
+                Op.ARM_ALLOC: self._alloc,
+                Op.ARM_RELEASE: self._release,
+                Op.ARM_STATUS: self._status,
+                Op.ARM_BREAK: self._break,
+                Op.ARM_REPAIR: self._repair,
+            }.get(req.op)
+            if handler is None:
+                self._reply(req, Response(req.req_id, Status.ERROR,
+                                          error=f"unsupported ARM op {req.op}"))
+                continue
+            handler(req)
+
+    def _reply(self, req: Request, resp: Response) -> None:
+        self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
+
+    def _alloc(self, req: Request) -> None:
+        n = req.params.get("count", 1)
+        if n <= 0:
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"invalid count {n!r}"))
+            return
+        if not self._try_assign(req):
+            if req.params.get("wait", True):
+                self._wait_queue.append((req,))
+            else:
+                self._reply(req, Response(
+                    req.req_id, Status.UNAVAILABLE,
+                    error=f"only {self.free_count()} accelerator(s) free, "
+                          f"{n} requested"))
+
+    def _try_assign(self, req: Request) -> bool:
+        n = req.params.get("count", 1)
+        free = [r for r in self.records.values()
+                if r.state == AcceleratorState.FREE]
+        if len(free) < n:
+            return False
+        chosen = sorted(free, key=lambda r: r.ac_id)[:n]
+        for r in chosen:
+            r.state = AcceleratorState.ASSIGNED
+            r.owner_rank = req.reply_to
+            r.job = req.params.get("job")
+            r._assigned_at = self.engine.now
+        self._reply(req, Response(req.req_id, Status.OK,
+                                  value=[r.handle() for r in chosen]))
+        return True
+
+    def _release(self, req: Request) -> None:
+        ac_ids = req.params.get("ac_ids", [])
+        records = []
+        for ac_id in ac_ids:
+            r = self.records.get(ac_id)
+            if r is None or r.state != AcceleratorState.ASSIGNED:
+                self._reply(req, Response(req.req_id, Status.DENIED,
+                                          error=f"ac{ac_id} is not assigned"))
+                return
+            if r.owner_rank != req.reply_to:
+                self._reply(req, Response(
+                    req.req_id, Status.DENIED,
+                    error=f"ac{ac_id} is owned by rank {r.owner_rank}, "
+                          f"not {req.reply_to}"))
+                return
+            records.append(r)
+        for r in records:
+            self._finish_assignment(r)
+            r.state = AcceleratorState.FREE
+        self._reply(req, Response(req.req_id, Status.OK))
+        self._drain_queue()
+
+    def _finish_assignment(self, r: AcceleratorRecord) -> None:
+        if r._assigned_at is not None:
+            r.assigned_seconds += self.engine.now - r._assigned_at
+            r._assigned_at = None
+        r.owner_rank = None
+        r.job = None
+
+    def _drain_queue(self) -> None:
+        while self._wait_queue:
+            (req,) = self._wait_queue[0]
+            if not self._try_assign(req):
+                break
+            self._wait_queue.popleft()
+
+    def _status(self, req: Request) -> None:
+        self._reply(req, Response(req.req_id, Status.OK, value=self.snapshot()))
+
+    def _break(self, req: Request) -> None:
+        ac_id = req.params["ac_id"]
+        r = self.records.get(ac_id)
+        if r is None:
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"unknown accelerator {ac_id}"))
+            return
+        if r.state == AcceleratorState.ASSIGNED:
+            self._finish_assignment(r)
+        r.state = AcceleratorState.BROKEN
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    def _repair(self, req: Request) -> None:
+        ac_id = req.params["ac_id"]
+        r = self.records.get(ac_id)
+        if r is None or r.state != AcceleratorState.BROKEN:
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"ac{ac_id} is not broken"))
+            return
+        r.state = AcceleratorState.FREE
+        self._reply(req, Response(req.req_id, Status.OK))
+        self._drain_queue()
+
+
+class ArmClient:
+    """The resource-management API used by compute-node processes."""
+
+    def __init__(self, rank: RankHandle, arm_rank: int):
+        self.rank = rank
+        self.arm_rank = arm_rank
+
+    def _rpc(self, op: Op, params: dict):
+        req = Request(op=op, req_id=next_request_id(),
+                      reply_to=self.rank.index, params=params)
+        self.rank.isend(self.arm_rank, TAG_ARM, req)
+        msg = yield from self.rank.recv(source=self.arm_rank,
+                                        tag=reply_tag(req.req_id))
+        resp: Response = msg.payload
+        resp.raise_for_status()
+        return resp
+
+    def alloc(self, count: int = 1, wait: bool = True, job: str | None = None):
+        """Request ``count`` exclusive accelerators (generator).
+
+        With ``wait=True`` the request queues FIFO until satisfiable (the
+        batch-script style of Sect. V-B); with ``wait=False`` it fails
+        immediately with :class:`AllocationError` when capacity is short.
+        Returns a list of :class:`AcceleratorHandle`.
+        """
+        resp = yield from self._rpc(Op.ARM_ALLOC,
+                                    {"count": count, "wait": wait, "job": job})
+        return resp.value
+
+    def release(self, handles: _t.Sequence[AcceleratorHandle]):
+        """Return accelerators to the pool (generator)."""
+        yield from self._rpc(Op.ARM_RELEASE,
+                             {"ac_ids": [h.ac_id for h in handles]})
+
+    def status(self):
+        """ARM registry snapshot (generator)."""
+        resp = yield from self._rpc(Op.ARM_STATUS, {})
+        return resp.value
+
+    def report_break(self, ac_id: int):
+        """Report a failed accelerator to the ARM (generator)."""
+        yield from self._rpc(Op.ARM_BREAK, {"ac_id": ac_id})
+
+    def report_repair(self, ac_id: int):
+        """Return a repaired accelerator to the pool (generator)."""
+        yield from self._rpc(Op.ARM_REPAIR, {"ac_id": ac_id})

@@ -1,0 +1,314 @@
+"""The middleware back-end: one daemon per accelerator node.
+
+The daemon is the software of Figure 4's right-hand side: it receives
+requests over simulated MPI, executes them on the local GPU through the
+(virtual) CUDA driver API, and replies.  Requests are served strictly in
+order — the daemon is single-threaded, like the prototype's.
+
+Transfer handling implements the two protocols of Sect. IV/V-A:
+
+* **naive** — the whole payload is received into host memory with one
+  blocking receive, then copied to the GPU with one DMA.  Host staging
+  memory equal to the full message size is required.
+* **pipeline** — the payload arrives in blocks; each block's DMA is issued
+  as soon as the block lands in the (GPUDirect-shared) pinned buffer while
+  the next block is still on the wire.  Staging memory is bounded by the
+  in-flight window; the per-block daemon handling cost is what eventually
+  penalizes very small blocks on very large messages (the Fig. 5
+  crossover).  With ``gpudirect=False`` each block pays an additional
+  host-to-pinned staging copy on the accelerator CPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..errors import DeviceMemoryError, KernelError
+from ..mpisim import Phantom, RankHandle
+from ..sim import Event
+from .protocol import Op, Request, Response, Status, TAG_REQUEST, reply_tag
+from .transfer import ArrayMeta
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import AcceleratorNode
+
+
+@dataclasses.dataclass
+class DaemonStats:
+    """Operation counters and staging-memory accounting."""
+
+    requests: int = 0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    kernels_run: int = 0
+    #: Peak host staging bytes in use at any instant (naive transfers
+    #: buffer the whole message; the pipeline stays bounded).
+    staging_peak: int = 0
+    staging_now: int = 0
+
+    def stage(self, nbytes: int) -> None:
+        self.staging_now += nbytes
+        if self.staging_now > self.staging_peak:
+            self.staging_peak = self.staging_now
+
+    def unstage(self, nbytes: int) -> None:
+        self.staging_now -= nbytes
+
+
+class Daemon:
+    """Back-end daemon bound to one accelerator node."""
+
+    def __init__(self, node: "AcceleratorNode", rank: RankHandle):
+        self.node = node
+        self.rank = rank
+        self.engine = rank.comm.engine
+        self.gpu = node.gpu
+        self.cpu = node.cpu
+        self.stats = DaemonStats()
+        #: Set by fault injection: the accelerator hardware has failed.
+        self.broken = False
+        self._stopped = False
+        self.proc = self.engine.process(self._serve(), name=f"daemon:{node.name}")
+
+    # -- main loop ------------------------------------------------------
+    def _serve(self):
+        while not self._stopped:
+            msg = yield from self.rank.recv(tag=TAG_REQUEST)
+            req: Request = msg.payload
+            self.stats.requests += 1
+            # Software cost of receiving + dispatching one request.
+            yield self.engine.timeout(self.cpu.request_handling_s)
+            if req.op == Op.SHUTDOWN:
+                self._reply(req, Response(req.req_id, Status.OK))
+                self._stopped = True
+                break
+            if self.broken:
+                # The GPU is gone, but the daemon host can still answer so
+                # the compute node is not taken down with it (the paper's
+                # fault-tolerance property).
+                self._reply(req, Response(req.req_id, Status.BROKEN,
+                                          error=f"{self.node.name} has failed"))
+                # A broken transfer still has in-flight data blocks to drain.
+                yield from self._drain_data(req, msg.source)
+                continue
+            handler = self._handlers().get(req.op)
+            if handler is None:
+                self._reply(req, Response(req.req_id, Status.ERROR,
+                                          error=f"unsupported op {req.op}"))
+                continue
+            yield from handler(req, msg.source)
+
+    def _handlers(self):
+        return {
+            Op.PING: self._ping,
+            Op.MEM_ALLOC: self._mem_alloc,
+            Op.MEM_FREE: self._mem_free,
+            Op.MEMCPY_H2D: self._memcpy_h2d,
+            Op.MEMCPY_D2H: self._memcpy_d2h,
+            Op.KERNEL_CREATE: self._kernel_create,
+            Op.KERNEL_RUN: self._kernel_run,
+            Op.PEER_PUT: self._peer_put,
+        }
+
+    def _reply(self, req: Request, resp: Response) -> None:
+        self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
+
+    def _drain_data(self, req: Request, src: int):
+        """Consume data blocks of a request that was rejected up-front."""
+        if req.op == Op.MEMCPY_H2D:
+            for _ in req.params["blocks"]:
+                yield from self.rank.recv(source=src, tag=req.params["data_tag"])
+
+    # -- simple ops -----------------------------------------------------
+    def _ping(self, req: Request, src: int):
+        self._reply(req, Response(req.req_id, Status.OK, value="pong"))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _mem_alloc(self, req: Request, src: int):
+        yield self.engine.timeout(self.cpu.malloc_s)
+        try:
+            addr = self.gpu.memory.malloc(req.params["nbytes"])
+        except DeviceMemoryError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            return
+        self._reply(req, Response(req.req_id, Status.OK, value=addr))
+
+    def _mem_free(self, req: Request, src: int):
+        yield self.engine.timeout(self.cpu.malloc_s)
+        try:
+            self.gpu.memory.free(req.params["addr"])
+        except DeviceMemoryError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            return
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    # -- transfers ------------------------------------------------------
+    def _memcpy_h2d(self, req: Request, src: int):
+        p = req.params
+        dst = p["dst"]
+        base = p.get("offset", 0)
+        blocks: list[tuple[int, int]] = p["blocks"]
+        dtag: int = p["data_tag"]
+        pinned: bool = p.get("pinned", True)
+        gpudirect: bool = p.get("gpudirect", True)
+        meta: ArrayMeta = p.get("meta")
+        nbytes = sum(size for _, size in blocks)
+        try:
+            alloc = self.gpu.memory.allocation(dst)
+            if base + nbytes > alloc.nbytes:
+                raise DeviceMemoryError(
+                    f"copy of {nbytes}B at offset {base} exceeds "
+                    f"allocation of {alloc.nbytes}B")
+        except DeviceMemoryError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            yield from self._drain_data(req, src)
+            return
+
+        dma_events: list[Event] = []
+        first = True
+        for off, size in blocks:
+            msg = yield from self.rank.recv(source=src, tag=dtag)
+            if not first:
+                # Per-block software cost: posting the next receive and the
+                # DMA descriptor (the first block's cost was the request
+                # handling itself).
+                yield self.engine.timeout(self.cpu.request_handling_s)
+            first = False
+            if not gpudirect:
+                # Without GPUDirect the block must be staged from the MPI
+                # receive buffer into the pinned DMA buffer by the CPU.
+                yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
+            self.stats.stage(size)
+            ev = self.gpu.dma.copy(size, pinned=pinned)
+            chunk = msg.payload
+            is_real = not isinstance(chunk, Phantom)
+
+            def _on_dma(_ev, off=off, size=size, chunk=chunk, is_real=is_real):
+                if is_real:
+                    self.gpu.memory.write(dst, base + off, np.asarray(chunk))
+                self.stats.unstage(size)
+
+            ev.add_callback(_on_dma)
+            dma_events.append(ev)
+        if dma_events:
+            yield self.engine.all_of(dma_events)
+        # Record the typed interpretation only for whole-buffer writes, so
+        # partial updates (e.g. a factored diagonal block) cannot clobber
+        # the buffer's shape.
+        if meta is not None and base == 0 and nbytes == alloc.nbytes:
+            self.gpu.memory.set_array_meta(dst, meta[0], meta[1])
+        self.stats.bytes_h2d += nbytes
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    def _memcpy_d2h(self, req: Request, src: int):
+        p = req.params
+        src_addr = p["src"]
+        base = p.get("offset", 0)
+        blocks: list[tuple[int, int]] = p["blocks"]
+        dtag: int = p["data_tag"]
+        pinned: bool = p.get("pinned", True)
+        gpudirect: bool = p.get("gpudirect", True)
+        nbytes = sum(size for _, size in blocks)
+        try:
+            alloc = self.gpu.memory.allocation(src_addr)
+            if base + nbytes > alloc.nbytes:
+                raise DeviceMemoryError(
+                    f"copy of {nbytes}B at offset {base} exceeds "
+                    f"allocation of {alloc.nbytes}B")
+        except DeviceMemoryError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            return
+        # Timing-only buffers (never written with real data) return phantoms.
+        is_real = alloc.data is not None
+        meta: ArrayMeta = None
+        if (is_real and base == 0 and alloc.dtype is not None
+                and alloc.shape is not None
+                and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
+            meta = (alloc.dtype.str, alloc.shape)
+        block_post = p.get("block_post_s")
+        for off, size in blocks:
+            yield self.gpu.dma.copy(size, pinned=pinned)
+            if not gpudirect:
+                yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
+            chunk: _t.Any = (self.gpu.memory.read(src_addr, base + off, size)
+                             if is_real else Phantom(size))
+            # Non-blocking: the send of block k overlaps the DMA of k+1;
+            # sends come from the pre-registered pinned ring (cheap post).
+            self.rank.isend(src, dtag, chunk, eager=True,
+                            injection_s=block_post)
+        self.stats.bytes_d2h += nbytes
+        self._reply(req, Response(req.req_id, Status.OK, value=meta))
+
+    def _peer_put(self, req: Request, src: int):
+        """Direct accelerator-to-accelerator copy (no compute node involved).
+
+        This daemon acts as the front-end of a regular H2D transfer into the
+        peer daemon: device-to-host DMA here overlaps with the network
+        stream into the peer, which pipelines into its own GPU.
+        """
+        from .protocol import data_tag, next_request_id
+        p = req.params
+        src_addr = p["src"]
+        peer_rank = p["peer_rank"]
+        peer_addr = p["peer_addr"]
+        blocks: list[tuple[int, int]] = p["blocks"]
+        pinned: bool = p.get("pinned", True)
+        nbytes = sum(size for _, size in blocks)
+        try:
+            alloc = self.gpu.memory.allocation(src_addr)
+            if nbytes > alloc.nbytes:
+                raise DeviceMemoryError("peer copy exceeds source allocation")
+        except DeviceMemoryError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            return
+        is_real = alloc.data is not None
+        meta: ArrayMeta = None
+        if is_real and alloc.dtype is not None and alloc.shape is not None:
+            meta = (alloc.dtype.str, alloc.shape)
+        fwd_id = next_request_id()
+        dtag = data_tag(fwd_id)
+        fwd = Request(op=Op.MEMCPY_H2D, req_id=fwd_id, reply_to=self.rank.index,
+                      params={"dst": peer_addr, "blocks": blocks,
+                              "data_tag": dtag, "pinned": pinned,
+                              "gpudirect": p.get("gpudirect", True),
+                              "meta": meta})
+        self.rank.isend(peer_rank, TAG_REQUEST, fwd)
+        block_post = p.get("block_post_s")
+        for off, size in blocks:
+            yield self.gpu.dma.copy(size, pinned=pinned)
+            chunk: _t.Any = (self.gpu.memory.read(src_addr, off, size)
+                             if is_real else Phantom(size))
+            self.rank.isend(peer_rank, dtag, chunk, eager=True,
+                            injection_s=block_post)
+        msg = yield from self.rank.recv(source=peer_rank, tag=reply_tag(fwd_id))
+        peer_resp: Response = msg.payload
+        self._reply(req, Response(req.req_id, peer_resp.status,
+                                  error=peer_resp.error))
+
+    # -- kernels --------------------------------------------------------
+    def _kernel_create(self, req: Request, src: int):
+        from ..gpusim.kernels import resolve
+        name = req.params["name"]
+        # kernel_create uploads the module if the device lacks it.
+        if not resolve(self.gpu.registry, name):
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"unknown kernel {name!r}"))
+            return
+        self._reply(req, Response(req.req_id, Status.OK))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _kernel_run(self, req: Request, src: int):
+        p = req.params
+        try:
+            result = yield self.gpu.launch(p["name"], p.get("params") or {},
+                                           real=p.get("real", True))
+        except KernelError as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
+            return
+        self.stats.kernels_run += 1
+        self._reply(req, Response(req.req_id, Status.OK, value=result))

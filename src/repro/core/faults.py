@@ -1,0 +1,76 @@
+"""Fault injection for the fault-tolerance experiments.
+
+The paper argues (Sect. III-A) that in the dynamic architecture a broken
+accelerator no longer takes a compute node down with it.  The injector
+models a hardware failure of one accelerator's GPU: the daemon host stays
+up (it answers every subsequent request with ``Status.BROKEN``), the ARM
+marks the accelerator BROKEN, and the owning compute node sees an
+:class:`~repro.errors.AcceleratorFault` on its next operation instead of
+losing its own node.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .protocol import Op, Request, Status, TAG_ARM, next_request_id
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.builder import Cluster
+
+
+class FaultInjector:
+    """Schedules accelerator failures and repairs on a cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.engine = cluster.engine
+
+    def break_at(self, ac_id: int, at_time: float) -> None:
+        """Break accelerator ``ac_id`` at virtual time ``at_time``."""
+        daemon = self.cluster.daemons[ac_id]
+
+        def failer():
+            delay = at_time - self.engine.now
+            if delay > 0:
+                yield self.engine.timeout(delay)
+            daemon.broken = True
+            # Hardware monitoring notifies the ARM out of band.
+            self._notify_arm(Op.ARM_BREAK, ac_id)
+            if False:
+                yield  # pragma: no cover
+
+        self.engine.process(failer(), name=f"fault:ac{ac_id}")
+
+    def repair_at(self, ac_id: int, at_time: float) -> None:
+        """Repair accelerator ``ac_id`` at virtual time ``at_time``."""
+        daemon = self.cluster.daemons[ac_id]
+
+        def repairer():
+            delay = at_time - self.engine.now
+            if delay > 0:
+                yield self.engine.timeout(delay)
+            daemon.broken = False
+            self._notify_arm(Op.ARM_REPAIR, ac_id)
+            if False:
+                yield  # pragma: no cover
+
+        self.engine.process(repairer(), name=f"repair:ac{ac_id}")
+
+    def _notify_arm(self, op: Op, ac_id: int) -> None:
+        # The notification is sent from the accelerator's own rank (its
+        # management agent); the reply is consumed by a helper process.
+        daemon = self.cluster.daemons[ac_id]
+        req = Request(op=op, req_id=next_request_id(),
+                      reply_to=daemon.rank.index, params={"ac_id": ac_id})
+        daemon.rank.isend(self.cluster.arm_rank_index, TAG_ARM, req)
+
+        def consume_reply():
+            from .protocol import reply_tag
+            msg = yield from daemon.rank.recv(
+                source=self.cluster.arm_rank_index, tag=reply_tag(req.req_id))
+            resp = msg.payload
+            if resp.status not in (Status.OK,):
+                raise RuntimeError(f"ARM rejected fault notification: {resp}")
+
+        self.engine.process(consume_reply(), name=f"fault-ack:ac{ac_id}")

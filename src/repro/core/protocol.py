@@ -1,0 +1,137 @@
+"""Wire protocol between middleware front-ends, daemons, and the ARM.
+
+Every middleware operation follows the paper's two-message pattern
+(Sect. IV): the front-end sends a :class:`Request`, the back-end replies
+with a :class:`Response` carrying an error code and optional value.  Bulk
+payloads travel as separate data messages on a per-request data tag so that
+concurrent operations from one front-end to one daemon never interleave.
+
+Tag layout (all below the simulated-MPI collective tag space):
+
+* ``TAG_REQUEST`` — requests to accelerator daemons,
+* ``TAG_ARM`` — requests to the accelerator resource manager,
+* ``reply_tag(req_id)`` — the unique response tag of one request,
+* ``data_tag(req_id)`` — the unique bulk-data tag of one request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing as _t
+
+from ..errors import ProtocolError
+
+TAG_REQUEST = 100
+TAG_ARM = 101
+
+_REPLY_BASE = 10_000
+_REPLY_SPAN = 290_000
+_DATA_BASE = 300_000
+_DATA_SPAN = 700_000
+
+#: Global request-id source; uniqueness only matters per (src, dst) pair
+#: and per in-flight window, which this amply provides.
+_req_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    return next(_req_ids)
+
+
+def reply_tag(req_id: int) -> int:
+    return _REPLY_BASE + (req_id % _REPLY_SPAN)
+
+
+def data_tag(req_id: int) -> int:
+    return _DATA_BASE + (req_id % _DATA_SPAN)
+
+
+class Op(enum.Enum):
+    """Middleware operation codes (the ``ac*`` API, Listing 2)."""
+
+    MEM_ALLOC = "mem_alloc"
+    MEM_FREE = "mem_free"
+    MEMCPY_H2D = "memcpy_h2d"
+    MEMCPY_D2H = "memcpy_d2h"
+    KERNEL_CREATE = "kernel_create"
+    KERNEL_RUN = "kernel_run"
+    PEER_PUT = "peer_put"         # direct accelerator-to-accelerator copy
+    PING = "ping"
+    SHUTDOWN = "shutdown"
+    # ARM operations:
+    ARM_ALLOC = "arm_alloc"
+    ARM_RELEASE = "arm_release"
+    ARM_STATUS = "arm_status"
+    ARM_BREAK = "arm_break"
+    ARM_REPAIR = "arm_repair"
+
+
+class Status(enum.IntEnum):
+    """Response error codes."""
+
+    OK = 0
+    ERROR = 1
+    BROKEN = 2          # the accelerator hardware has failed
+    UNAVAILABLE = 3     # ARM: not enough free accelerators
+    DENIED = 4          # ARM: invalid release / ownership violation
+
+
+@dataclasses.dataclass
+class Request:
+    """A front-end request.  ``params`` must be small and picklable."""
+
+    op: Op
+    req_id: int
+    reply_to: int                      # rank to answer
+    params: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, Op):
+            raise ProtocolError(f"op must be an Op, got {self.op!r}")
+        if self.req_id <= 0:
+            raise ProtocolError(f"invalid request id: {self.req_id!r}")
+        if self.reply_to < 0:
+            raise ProtocolError(f"invalid reply rank: {self.reply_to!r}")
+
+
+@dataclasses.dataclass
+class Response:
+    """A back-end response to one request."""
+
+    req_id: int
+    status: Status
+    value: _t.Any = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.OK
+
+    def raise_for_status(self) -> None:
+        """Raise the library exception matching a failure status."""
+        if self.status == Status.OK:
+            return
+        from ..errors import AcceleratorFault, AllocationError, MiddlewareError
+        if self.status == Status.BROKEN:
+            raise AcceleratorFault(self.error or "accelerator failed")
+        if self.status in (Status.UNAVAILABLE, Status.DENIED):
+            raise AllocationError(self.error or self.status.name)
+        raise MiddlewareError(self.error or f"request {self.req_id} failed")
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorHandle:
+    """Opaque handle identifying one exclusively assigned accelerator.
+
+    The front-end passes it to every ``ac*`` call, exactly like the
+    ``ac_handle`` parameter in the paper's Listing 2.
+    """
+
+    ac_id: int
+    daemon_rank: int
+
+    def __post_init__(self) -> None:
+        if self.ac_id < 0 or self.daemon_rank < 0:
+            raise ProtocolError("invalid accelerator handle")

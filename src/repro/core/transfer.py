@@ -1,0 +1,81 @@
+"""Payload chunking and reassembly shared by front-end and daemon.
+
+Real payloads are viewed as flat uint8 and sliced into the pipeline's
+blocks; :class:`~repro.mpisim.datatypes.Phantom` payloads are sliced into
+phantom blocks of the same sizes, so timing-only transfers exercise the
+identical protocol path.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..errors import MiddlewareError
+from ..mpisim import Phantom
+
+#: Array metadata carried in transfer headers: (dtype string, shape tuple).
+ArrayMeta = _t.Optional[tuple[str, tuple[int, ...]]]
+
+
+def payload_meta(payload: _t.Any) -> ArrayMeta:
+    """dtype/shape metadata of an array payload (None for raw/phantom)."""
+    if isinstance(payload, np.ndarray):
+        return (payload.dtype.str, payload.shape)
+    return None
+
+
+def as_flat_bytes(payload: _t.Any) -> np.ndarray | None:
+    """Flat uint8 view of a real payload; None for phantom/timing-only."""
+    if payload is None or isinstance(payload, Phantom):
+        return None
+    if isinstance(payload, np.ndarray):
+        return np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return np.frombuffer(bytes(payload), dtype=np.uint8)
+    raise MiddlewareError(
+        f"unsupported bulk payload type {type(payload).__name__}; "
+        "use numpy arrays, bytes, or Phantom"
+    )
+
+
+def slice_chunks(payload: _t.Any, blocks: list[tuple[int, int]]) -> list[_t.Any]:
+    """Split a payload into per-block chunks matching ``blocks``."""
+    flat = as_flat_bytes(payload)
+    if flat is None:
+        return [Phantom(size) for _, size in blocks]
+    total = sum(size for _, size in blocks)
+    if flat.nbytes != total:
+        raise MiddlewareError(
+            f"payload of {flat.nbytes}B does not match planned blocks ({total}B)"
+        )
+    return [flat[off:off + size] for off, size in blocks]
+
+
+def assemble_chunks(chunks: list[_t.Any], blocks: list[tuple[int, int]],
+                    meta: ArrayMeta) -> _t.Any:
+    """Reassemble received chunks into an array (or a Phantom).
+
+    Returns a typed array when ``meta`` is available, a flat uint8 array
+    otherwise, or a Phantom when the transfer was timing-only.
+    """
+    if len(chunks) != len(blocks):
+        raise MiddlewareError(
+            f"got {len(chunks)} chunks for {len(blocks)} planned blocks"
+        )
+    total = sum(size for _, size in blocks)
+    if any(isinstance(c, Phantom) for c in chunks):
+        return Phantom(total)
+    out = np.empty(total, dtype=np.uint8)
+    for chunk, (off, size) in zip(chunks, blocks):
+        arr = np.asarray(chunk, dtype=np.uint8).reshape(-1)
+        if arr.nbytes != size:
+            raise MiddlewareError(
+                f"chunk of {arr.nbytes}B does not match block size {size}B"
+            )
+        out[off:off + size] = arr
+    if meta is not None:
+        dtype, shape = meta
+        return out.view(np.dtype(dtype)).reshape(shape)
+    return out

@@ -1,0 +1,27 @@
+"""Virtual GPU substrate: device memory, PCIe DMA, kernels, devices."""
+
+from .device import GPUDevice, GPUSpec, TESLA_C1060, XEON_PHI_KNC
+from .dma import DMAEngine, PCIeModel, PCIE_GEN2_X16
+from .kernels import Kernel, KernelRegistry
+from .memory import Allocation, DeviceMemory
+from .stdkernels import default_registry, shared_default_registry
+from .stream import Stream
+from . import timing
+
+__all__ = [
+    "GPUDevice",
+    "GPUSpec",
+    "TESLA_C1060",
+    "XEON_PHI_KNC",
+    "DMAEngine",
+    "PCIeModel",
+    "PCIE_GEN2_X16",
+    "Kernel",
+    "KernelRegistry",
+    "DeviceMemory",
+    "Allocation",
+    "Stream",
+    "default_registry",
+    "shared_default_registry",
+    "timing",
+]

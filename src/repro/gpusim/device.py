@@ -1,0 +1,143 @@
+"""The virtual GPU device.
+
+Combines the device-memory allocator, the PCIe DMA engine, and the kernel
+registry behind an execution interface that mirrors the CUDA driver API
+surface the paper's middleware wraps: allocate, copy, launch.
+
+Compute is serialized (one kernel at a time — the Tesla C1060 has no
+concurrent kernels), but the DMA engine runs independently, which is the
+overlap the pipeline copy protocol exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import GPUError
+from ..sim import Engine, Event, Resource, Tracer, NULL_TRACER
+from ..units import GiB, USEC
+from .dma import DMAEngine, PCIeModel, PCIE_GEN2_X16
+from .kernels import KernelRegistry
+from .memory import DeviceMemory
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Performance envelope of one GPU model."""
+
+    name: str
+    dp_gflops: float            # double-precision peak, GFlop/s
+    gemm_efficiency: float      # fraction of peak achieved by large dgemm
+    mem_bw_Bps: float           # device-memory bandwidth
+    mem_bytes: int              # device-memory capacity
+    launch_overhead_s: float    # per-kernel launch latency
+    pcie: PCIeModel
+
+    def __post_init__(self) -> None:
+        if self.dp_gflops <= 0 or self.mem_bw_Bps <= 0 or self.mem_bytes <= 0:
+            raise GPUError("GPU spec values must be positive")
+        if not 0 < self.gemm_efficiency <= 1:
+            raise GPUError(f"gemm efficiency must be in (0, 1]: {self.gemm_efficiency!r}")
+        if self.launch_overhead_s < 0:
+            raise GPUError("launch overhead cannot be negative")
+
+    def flops_time(self, flops: float, efficiency: float | None = None) -> float:
+        """Seconds to execute ``flops`` at the given fraction of peak."""
+        eff = self.gemm_efficiency if efficiency is None else efficiency
+        return flops / (self.dp_gflops * 1e9 * eff)
+
+    def mem_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` through device memory."""
+        return nbytes / self.mem_bw_Bps
+
+
+#: NVIDIA Tesla C1060 as in the paper's testbed: 78 GFlop/s double
+#: precision peak, ~102 GB/s GDDR3, 4 GiB, PCIe gen2 x16.
+TESLA_C1060 = GPUSpec(
+    name="tesla-c1060",
+    dp_gflops=78.0,
+    gemm_efficiency=0.80,
+    mem_bw_Bps=102e9,
+    mem_bytes=4 * GiB,
+    launch_overhead_s=7.0 * USEC,
+    pcie=PCIE_GEN2_X16,
+)
+
+#: Intel Xeon Phi (Knights Corner), the "emerging MIC architecture" the
+#: paper's conclusion names as an easy extension target: ~1 TFlop/s double
+#: precision, ~170 GB/s GDDR5, 8 GiB.  Offload launches cost more than a
+#: CUDA kernel launch.  Used by the extensibility tests to show the
+#: middleware is accelerator-agnostic.
+XEON_PHI_KNC = GPUSpec(
+    name="xeon-phi-knc",
+    dp_gflops=1011.0,
+    gemm_efficiency=0.75,
+    mem_bw_Bps=170e9,
+    mem_bytes=8 * GiB,
+    launch_overhead_s=20.0 * USEC,
+    pcie=PCIE_GEN2_X16,
+)
+
+
+class GPUDevice:
+    """One virtual GPU: memory + DMA + serialized compute."""
+
+    _ids = 0
+
+    def __init__(self, engine: Engine, spec: GPUSpec = TESLA_C1060,
+                 registry: KernelRegistry | None = None,
+                 name: str | None = None, tracer: Tracer = NULL_TRACER):
+        self.engine = engine
+        self.spec = spec
+        if registry is None:
+            from .stdkernels import default_registry
+            registry = default_registry().clone()
+        self.registry = registry
+        GPUDevice._ids += 1
+        self.name = name or f"gpu{GPUDevice._ids}"
+        self.tracer = tracer
+        self.memory = DeviceMemory(spec.mem_bytes)
+        self.dma = DMAEngine(engine, spec.pcie)
+        self._compute = Resource(engine, capacity=1)
+        #: Cumulative compute-busy seconds (utilization accounting).
+        self.busy_time = 0.0
+        self.kernels_launched = 0
+
+    def launch(self, kernel_name: str, params: dict | None = None,
+               real: bool = True) -> Event:
+        """Launch a kernel; the returned event fires at completion.
+
+        ``real=False`` charges the kernel's modeled time without executing
+        its numerics (timing-only mode for paper-scale problem sizes).
+        The event's value is the kernel's return (error code or None).
+        """
+        kernel = self.registry.get(kernel_name)
+        params = params or {}
+        duration = kernel.cost(params, self.spec)
+        done = self.engine.event()
+        self.engine.process(self._run(kernel, params, duration, real, done),
+                            name=f"{self.name}:{kernel_name}")
+        return done
+
+    def _run(self, kernel, params: dict, duration: float, real: bool, done: Event):
+        yield self._compute.acquire()
+        yield self.engine.timeout(self.spec.launch_overhead_s + duration)
+        result = None
+        try:
+            if real:
+                result = kernel.fn(self, params)
+        finally:
+            self._compute.release()
+        self.busy_time += duration
+        self.kernels_launched += 1
+        self.tracer.log(self.engine.now, "gpu.kernel", self.name,
+                        (kernel.name, duration))
+        done.succeed(result)
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of wall time the compute engine was busy."""
+        total = elapsed if elapsed is not None else self.engine.now
+        return self.busy_time / total if total > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GPUDevice {self.name} ({self.spec.name})>"

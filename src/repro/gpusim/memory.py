@@ -1,0 +1,208 @@
+"""Device-memory management for the virtual GPU.
+
+A first-fit free-list allocator over a flat address space, mirroring
+``cudaMalloc``/``cudaFree`` semantics.  Real payloads are kept as uint8
+backing arrays per allocation (created lazily on first write), so the
+middleware's pipelined block copies write genuine bytes at genuine offsets.
+Array-typed writes additionally record dtype/shape so kernels can obtain
+typed views without copying.
+
+Invariants (exercised by the property tests):
+
+* live allocations never overlap;
+* every allocation lies within the device capacity;
+* freeing coalesces adjacent free ranges, so alloc-all/free-all always
+  returns to a single free block.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..errors import DeviceMemoryError
+
+
+class Allocation:
+    """One live device allocation."""
+
+    __slots__ = ("addr", "nbytes", "data", "dtype", "shape")
+
+    def __init__(self, addr: int, nbytes: int):
+        self.addr = addr
+        self.nbytes = nbytes
+        self.data: np.ndarray | None = None  # lazy uint8 backing store
+        self.dtype: np.dtype | None = None
+        self.shape: tuple[int, ...] | None = None
+
+    def backing(self) -> np.ndarray:
+        if self.data is None:
+            self.data = np.zeros(self.nbytes, dtype=np.uint8)
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Allocation @{self.addr:#x} {self.nbytes}B>"
+
+
+class DeviceMemory:
+    """First-fit allocator with free-range coalescing."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise DeviceMemoryError(f"capacity must be positive: {capacity!r}")
+        self.capacity = int(capacity)
+        #: Sorted list of (start, size) free ranges.
+        self._free: list[tuple[int, int]] = [(0, self.capacity)]
+        self._allocs: dict[int, Allocation] = {}
+
+    # -- allocation -------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self.capacity - sum(size for _, size in self._free)
+
+    @property
+    def n_allocations(self) -> int:
+        return len(self._allocs)
+
+    def largest_free_block(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the device address.
+
+        Zero-byte allocations are rejected (CUDA returns a unique pointer,
+        but none of our workloads rely on that corner).
+        """
+        if nbytes <= 0:
+            raise DeviceMemoryError(f"allocation size must be positive: {nbytes!r}")
+        for i, (start, size) in enumerate(self._free):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + nbytes, size - nbytes)
+                alloc = Allocation(start, nbytes)
+                self._allocs[start] = alloc
+                return start
+        raise DeviceMemoryError(
+            f"out of device memory: requested {nbytes}, "
+            f"largest free block {self.largest_free_block()}"
+        )
+
+    def free(self, addr: int) -> None:
+        """Release the allocation at base address ``addr``."""
+        alloc = self._allocs.pop(addr, None)
+        if alloc is None:
+            raise DeviceMemoryError(f"free of unknown device address {addr:#x}")
+        self._insert_free(alloc.addr, alloc.nbytes)
+
+    def _insert_free(self, start: int, size: int) -> None:
+        # Insert keeping sort order, then coalesce neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (start, size))
+        # Coalesce with successor first, then predecessor.
+        if lo + 1 < len(self._free):
+            s, sz = self._free[lo]
+            ns, nsz = self._free[lo + 1]
+            if s + sz == ns:
+                self._free[lo] = (s, sz + nsz)
+                del self._free[lo + 1]
+        if lo > 0:
+            ps, psz = self._free[lo - 1]
+            s, sz = self._free[lo]
+            if ps + psz == s:
+                self._free[lo - 1] = (ps, psz + sz)
+                del self._free[lo]
+
+    # -- access -----------------------------------------------------------
+    def allocation(self, addr: int) -> Allocation:
+        """The allocation whose *base* address is ``addr``."""
+        try:
+            return self._allocs[addr]
+        except KeyError:
+            raise DeviceMemoryError(f"unknown device address {addr:#x}") from None
+
+    def write(self, addr: int, offset: int, data: bytes | np.ndarray) -> None:
+        """Write raw bytes at ``addr + offset``."""
+        alloc = self.allocation(addr)
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) \
+            else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset < 0 or offset + buf.nbytes > alloc.nbytes:
+            raise DeviceMemoryError(
+                f"write of {buf.nbytes}B at offset {offset} exceeds "
+                f"allocation of {alloc.nbytes}B"
+            )
+        alloc.backing()[offset:offset + buf.nbytes] = buf
+
+    def read(self, addr: int, offset: int = 0, nbytes: int | None = None) -> np.ndarray:
+        """Read raw bytes from ``addr + offset`` (a copy, dtype uint8)."""
+        alloc = self.allocation(addr)
+        if nbytes is None:
+            nbytes = alloc.nbytes - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > alloc.nbytes:
+            raise DeviceMemoryError(
+                f"read of {nbytes}B at offset {offset} exceeds "
+                f"allocation of {alloc.nbytes}B"
+            )
+        return alloc.backing()[offset:offset + nbytes].copy()
+
+    def write_array(self, addr: int, array: np.ndarray) -> None:
+        """Write a typed array at offset 0 and record its dtype/shape."""
+        alloc = self.allocation(addr)
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes > alloc.nbytes:
+            raise DeviceMemoryError(
+                f"array of {arr.nbytes}B does not fit allocation of {alloc.nbytes}B"
+            )
+        alloc.backing()[: arr.nbytes] = arr.view(np.uint8).reshape(-1)
+        alloc.dtype = arr.dtype
+        alloc.shape = arr.shape
+
+    def set_array_meta(self, addr: int, dtype: np.dtype | str, shape: tuple[int, ...]) -> None:
+        """Declare the typed interpretation of a buffer without writing it."""
+        alloc = self.allocation(addr)
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+        if nbytes > alloc.nbytes:
+            raise DeviceMemoryError(
+                f"declared view of {nbytes}B exceeds allocation of {alloc.nbytes}B"
+            )
+        alloc.dtype = dtype
+        alloc.shape = tuple(shape)
+
+    def view(self, addr: int, dtype: np.dtype | str | None = None,
+             shape: tuple[int, ...] | None = None) -> np.ndarray:
+        """A mutable typed view of a buffer (zero copy).
+
+        Uses the recorded dtype/shape unless overridden.  Kernels mutate
+        device data through these views.
+        """
+        alloc = self.allocation(addr)
+        dt = np.dtype(dtype) if dtype is not None else alloc.dtype
+        shp = shape if shape is not None else alloc.shape
+        if dt is None or shp is None:
+            raise DeviceMemoryError(
+                f"buffer {addr:#x} has no recorded dtype/shape; "
+                "write_array() or set_array_meta() first"
+            )
+        n = dt.itemsize * int(np.prod(shp)) if shp else dt.itemsize
+        if n > alloc.nbytes:
+            raise DeviceMemoryError(
+                f"view of {n}B exceeds allocation of {alloc.nbytes}B"
+            )
+        return alloc.backing()[:n].view(dt).reshape(shp)
+
+    def read_array(self, addr: int) -> np.ndarray:
+        """A typed copy of a buffer using its recorded dtype/shape."""
+        return self.view(addr).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<DeviceMemory {self.used_bytes}/{self.capacity}B used, "
+                f"{len(self._allocs)} allocs>")

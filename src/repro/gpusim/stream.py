@@ -1,0 +1,76 @@
+"""CUDA-style streams: in-order operation queues on one device.
+
+Operations submitted to the same stream execute in submission order;
+operations in different streams may overlap (kernels still serialize on
+the device's single compute engine, DMA on its copy engine — the C1060's
+concurrency model).  The back-end daemon's pipeline achieves its overlap
+with exactly this structure; :class:`Stream` exposes it for device-level
+users such as the local baseline and future lookahead factorizations.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import GPUError
+from ..sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .device import GPUDevice
+
+
+class Stream:
+    """An in-order queue of kernel launches and DMA copies."""
+
+    _ids = 0
+
+    def __init__(self, device: "GPUDevice", name: str | None = None):
+        self.device = device
+        self.engine = device.engine
+        Stream._ids += 1
+        self.name = name or f"{device.name}.stream{Stream._ids}"
+        #: Completion event of the most recently enqueued operation.
+        self._tail: Event | None = None
+        self.ops_submitted = 0
+
+    def _chain(self, start_op: _t.Callable[[], Event]) -> Event:
+        """Enqueue an operation behind the current tail."""
+        done = self.engine.event()
+        prev = self._tail
+        self._tail = done
+        self.ops_submitted += 1
+
+        def runner():
+            if prev is not None and not prev.processed:
+                yield prev
+            op_done = start_op()
+            if not op_done.processed:
+                yield op_done
+            done.succeed(op_done.value if op_done.triggered else None)
+
+        self.engine.process(runner(), name=f"{self.name}:op")
+        return done
+
+    def launch(self, kernel_name: str, params: dict | None = None,
+               real: bool = True) -> Event:
+        """Enqueue a kernel launch; returns its completion event."""
+        return self._chain(lambda: self.device.launch(kernel_name, params,
+                                                      real=real))
+
+    def copy(self, nbytes: int, pinned: bool = True) -> Event:
+        """Enqueue a host<->device DMA; returns its completion event."""
+        if nbytes < 0:
+            raise GPUError(f"negative copy size: {nbytes!r}")
+        return self._chain(lambda: self.device.dma.copy(nbytes, pinned=pinned))
+
+    def synchronize(self) -> Event:
+        """Event that fires when everything enqueued so far has finished.
+
+        Immediately-successful when the stream is empty.
+        """
+        if self._tail is None:
+            return Event(self.engine).succeed(None)
+        return self._tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stream {self.name} ops={self.ops_submitted}>"

@@ -1,0 +1,64 @@
+"""Cost-model helpers shared by the built-in and workload kernels.
+
+Costs are derived from a two-term roofline: a kernel takes
+``max(flop time, memory time)`` with a saturation factor that degrades
+efficiency for small working sets (launch-bound / partially-filled SMs).
+Dimensions always come from kernel *parameters*, never from device data,
+so costs are computable in timing-only mode.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .device import GPUSpec
+
+#: Matrix dimension at which gemm reaches half of its asymptotic efficiency.
+GEMM_HALF_SAT_DIM = 32.0
+
+
+def saturation(min_dim: float, half_sat: float = GEMM_HALF_SAT_DIM) -> float:
+    """Efficiency factor in (0, 1): small problems underutilize the GPU."""
+    if min_dim <= 0:
+        return 1.0e-3
+    return min_dim / (min_dim + half_sat)
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Flop count of C(m,n) += A(m,k) @ B(k,n)."""
+    return 2.0 * m * n * k
+
+
+def gemm_time(spec: "GPUSpec", m: int, n: int, k: int) -> float:
+    """Modeled dgemm execution time with small-size degradation."""
+    eff = spec.gemm_efficiency * saturation(min(m, n, k))
+    return gemm_flops(m, n, k) / (spec.dp_gflops * 1e9 * eff)
+
+
+def syrk_flops(n: int, k: int) -> float:
+    """Flop count of C(n,n) += A(n,k) @ A(n,k)^T (triangular output)."""
+    return float(n) * (n + 1) * k
+
+
+def syrk_time(spec: "GPUSpec", n: int, k: int) -> float:
+    eff = spec.gemm_efficiency * saturation(min(n, k))
+    return syrk_flops(n, k) / (spec.dp_gflops * 1e9 * eff)
+
+
+def trsm_flops(m: int, n: int) -> float:
+    """Flop count of a triangular solve with m RHS rows, n x n triangle."""
+    return float(m) * n * n
+
+
+def trsm_time(spec: "GPUSpec", m: int, n: int) -> float:
+    # trsm runs at lower efficiency than gemm on this generation of GPU.
+    eff = 0.5 * spec.gemm_efficiency * saturation(min(m, n))
+    return trsm_flops(m, n) / (spec.dp_gflops * 1e9 * eff)
+
+
+def streaming_time(spec: "GPUSpec", nbytes: float, flops: float = 0.0) -> float:
+    """Roofline time for a memory-bound elementwise kernel."""
+    mem = spec.mem_time(nbytes)
+    fl = flops / (spec.dp_gflops * 1e9)
+    return max(mem, fl)

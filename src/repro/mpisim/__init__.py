@@ -1,0 +1,35 @@
+"""Simulated MPI layer: communicators, point-to-point, collectives.
+
+Carries real Python payloads over the simulated fabric with eager /
+rendezvous protocol semantics, wildcard matching, and logarithmic
+collectives.
+"""
+
+from .comm import (
+    CONTROL_BYTES,
+    HEADER_BYTES,
+    MAX_USER_TAG,
+    Communicator,
+    Message,
+    RankHandle,
+    Request,
+    World,
+)
+from .datatypes import Phantom, copy_for_send, payload_nbytes
+from .matching import ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "World",
+    "Communicator",
+    "RankHandle",
+    "Request",
+    "Message",
+    "Phantom",
+    "payload_nbytes",
+    "copy_for_send",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "HEADER_BYTES",
+    "CONTROL_BYTES",
+    "MAX_USER_TAG",
+]

@@ -1,0 +1,177 @@
+"""Collective operations built on simulated point-to-point messaging.
+
+All collectives are generators: every rank of the communicator must call
+the same collectives in the same order and iterate them inside its own
+simulation process (``result = yield from rank.bcast(...)``).
+
+Algorithms are the textbook logarithmic ones (dissemination barrier,
+binomial-tree broadcast and reduce), so the simulated cost scales like a
+real MPI implementation's.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..errors import MPIError
+from .datatypes import Phantom
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .comm import RankHandle
+
+
+def _default_op(a: _t.Any, b: _t.Any) -> _t.Any:
+    """Elementwise sum, the MPI_SUM analogue."""
+    return np.add(a, b)
+
+
+def apply_op(op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None,
+             a: _t.Any, b: _t.Any) -> _t.Any:
+    """Apply a reduction op, propagating Phantom payloads by size."""
+    if isinstance(a, Phantom) or isinstance(b, Phantom):
+        na = a.nbytes if isinstance(a, Phantom) else np.asarray(a).nbytes
+        nb = b.nbytes if isinstance(b, Phantom) else np.asarray(b).nbytes
+        return Phantom(max(na, nb), note="reduced")
+    return (op or _default_op)(a, b)
+
+
+def barrier(rank: "RankHandle"):
+    """Dissemination barrier: ceil(log2(p)) rounds of paired messages."""
+    p = rank.size
+    base = rank._next_coll_tag()
+    if p == 1:
+        return
+    me = rank.index
+    k = 1
+    rnd = 0
+    while k < p:
+        dst = (me + k) % p
+        src = (me - k) % p
+        rreq = rank.comm.irecv(me, src, base + rnd)
+        rank.comm.isend(me, dst, base + rnd, None)
+        yield rreq.done
+        k <<= 1
+        rnd += 1
+
+
+def bcast(rank: "RankHandle", payload: _t.Any = None, root: int = 0):
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    p = rank.size
+    rank.comm._check_rank(root)
+    base = rank._next_coll_tag()
+    if p == 1:
+        return payload
+    me = rank.index
+    vr = (me - root) % p  # virtual rank with root at 0
+    # Receive phase: find the bit where my parent contacted me.
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = ((vr ^ mask) + root) % p
+            msg = yield from rank.recv(parent, base)
+            payload = msg.payload
+            break
+        mask <<= 1
+    # Send phase: relay to children at decreasing bit positions.
+    mask >>= 1
+    pending = []
+    while mask > 0:
+        if vr | mask != vr and vr | mask < p and not (vr & mask):
+            child = ((vr | mask) + root) % p
+            pending.append(rank.isend(child, base, payload))
+        mask >>= 1
+    for req in pending:
+        yield req.done
+    return payload
+
+
+def reduce(rank: "RankHandle", value: _t.Any, op=None, root: int = 0):
+    """Binomial-tree reduction to ``root``; other ranks return ``None``."""
+    p = rank.size
+    rank.comm._check_rank(root)
+    base = rank._next_coll_tag()
+    if p == 1:
+        return value
+    me = rank.index
+    vr = (me - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = ((vr ^ mask) + root) % p
+            yield from rank.send(parent, base, acc)
+            break
+        partner = vr | mask
+        if partner < p:
+            msg = yield from rank.recv(((partner + root) % p), base)
+            acc = apply_op(op, acc, msg.payload)
+        mask <<= 1
+    return acc if me == root else None
+
+
+def allreduce(rank: "RankHandle", value: _t.Any, op=None):
+    """Reduce to rank 0 then broadcast the result to everyone."""
+    reduced = yield from reduce(rank, value, op, root=0)
+    result = yield from bcast(rank, reduced, root=0)
+    return result
+
+
+def gather(rank: "RankHandle", value: _t.Any, root: int = 0):
+    """Gather one value per rank at ``root`` (returns list there, else None)."""
+    p = rank.size
+    rank.comm._check_rank(root)
+    base = rank._next_coll_tag()
+    me = rank.index
+    if me != root:
+        yield from rank.send(root, base, value)
+        return None
+    out: list[_t.Any] = [None] * p
+    out[me] = value
+    for src in range(p):
+        if src == root:
+            continue
+        msg = yield from rank.recv(src, base)
+        out[src] = msg.payload
+    return out
+
+
+def scatter(rank: "RankHandle", values: _t.Sequence[_t.Any] | None = None,
+            root: int = 0):
+    """Scatter ``values[i]`` from root to rank i; returns the local value."""
+    p = rank.size
+    rank.comm._check_rank(root)
+    base = rank._next_coll_tag()
+    me = rank.index
+    if me == root:
+        if values is None or len(values) != p:
+            raise MPIError(f"scatter at root needs exactly {p} values")
+        pending = []
+        for dst in range(p):
+            if dst != root:
+                pending.append(rank.isend(dst, base, values[dst]))
+        for req in pending:
+            yield req.done
+        return values[root]
+    msg = yield from rank.recv(root, base)
+    return msg.payload
+
+
+def alltoall(rank: "RankHandle", values: _t.Sequence[_t.Any]):
+    """Personalized all-to-all; returns the list received from each rank."""
+    p = rank.size
+    if len(values) != p:
+        raise MPIError(f"alltoall needs exactly {p} values, got {len(values)}")
+    base = rank._next_coll_tag()
+    me = rank.index
+    out: list[_t.Any] = [None] * p
+    out[me] = values[me]
+    rreqs = {src: rank.irecv(src, base) for src in range(p) if src != me}
+    sreqs = [rank.isend(dst, base, values[dst]) for dst in range(p) if dst != me]
+    for src, req in rreqs.items():
+        msg = yield req.done
+        out[src] = msg.payload
+    for req in sreqs:
+        yield req.done
+    return out

@@ -1,0 +1,462 @@
+"""Simulated MPI: world, communicators, and point-to-point messaging.
+
+The layer reproduces the MPI semantics the middleware and the workloads
+rely on:
+
+* **eager protocol** for messages up to the link model's
+  ``rendezvous_threshold``: the payload is buffered and shipped immediately;
+  the send completes locally once the NIC has posted it;
+* **rendezvous protocol** for larger messages: a ready-to-send (RTS) control
+  message travels first, the data flows only after the receiver has matched
+  it and answered clear-to-send (CTS) — so large sends complete no earlier
+  than delivery, exactly the behaviour that makes PingPong a round trip;
+* **non-overtaking matching** per ``(source, tag)`` with wildcard receives.
+
+Payloads are real Python objects (see :mod:`repro.mpisim.datatypes`), so
+the whole middleware stack moves genuine bytes during correctness tests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import MPIError
+from ..netsim import Endpoint, Fabric
+from ..sim import Engine, Event, Tracer, NULL_TRACER
+from .datatypes import copy_for_send, payload_nbytes
+from .matching import ANY_SOURCE, ANY_TAG, Envelope, MatchList
+
+
+def _matches_probe(want_src: int, want_tag: int, src: int, tag: int) -> bool:
+    return (want_src in (ANY_SOURCE, src)) and (want_tag in (ANY_TAG, tag))
+
+#: Bytes added to every data message for the match header.
+HEADER_BYTES = 64
+#: Size of RTS/CTS control messages.
+CONTROL_BYTES = 64
+
+#: Tag space reserved for collective operations (see collectives.py).
+MAX_USER_TAG = 2**20
+
+
+class Message:
+    """A received message: payload plus matching metadata."""
+
+    __slots__ = ("source", "tag", "payload", "nbytes")
+
+    def __init__(self, source: int, tag: int, payload: _t.Any, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Message src={self.source} tag={self.tag} {self.nbytes}B>"
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    Wait for it inside a process with ``yield req.done``; a receive's
+    ``done`` value (and ``req.message``) is the :class:`Message`.
+    """
+
+    __slots__ = ("done", "message", "kind")
+
+    def __init__(self, engine: Engine, kind: str):
+        self.done = Event(engine)
+        self.message: Message | None = None
+        self.kind = kind
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    def _complete(self, message: Message | None = None) -> None:
+        self.message = message
+        self.done.succeed(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+class _PostedRecv:
+    __slots__ = ("request",)
+
+    def __init__(self, request: Request):
+        self.request = request
+
+
+class _Arrival:
+    """An unexpected arrival: either buffered eager data or a pending RTS."""
+
+    __slots__ = ("env", "payload", "rts")
+
+    def __init__(self, env: Envelope, payload: _t.Any = None, rts: "_Rts | None" = None):
+        self.env = env
+        self.payload = payload
+        self.rts = rts
+
+
+class _Rts:
+    """Sender-side state of a rendezvous in progress."""
+
+    __slots__ = ("src_rank", "payload", "nbytes", "send_request")
+
+    def __init__(self, src_rank: int, payload: _t.Any, nbytes: int, send_request: Request):
+        self.src_rank = src_rank
+        self.payload = payload
+        self.nbytes = nbytes
+        self.send_request = send_request
+
+
+class _RankState:
+    __slots__ = ("posted", "unexpected", "coll_seq", "probers")
+
+    def __init__(self) -> None:
+        self.posted = MatchList()
+        self.unexpected = MatchList()
+        self.coll_seq = 0
+        #: Blocking probes waiting for a matching arrival: (src, tag, event).
+        self.probers: list[tuple[int, int, Event]] = []
+
+
+class World:
+    """Binds an engine and a fabric; the factory for communicators."""
+
+    def __init__(self, engine: Engine, fabric: Fabric, tracer: Tracer = NULL_TRACER):
+        self.engine = engine
+        self.fabric = fabric
+        self.tracer = tracer
+
+    def create_comm(self, endpoints: _t.Sequence[Endpoint | str],
+                    name: str = "comm") -> "Communicator":
+        """Create a communicator whose rank *i* lives on ``endpoints[i]``.
+
+        Several ranks may share one endpoint (processes on the same node).
+        """
+        eps = [self.fabric.endpoint(e) if isinstance(e, str) else e for e in endpoints]
+        if not eps:
+            raise MPIError("a communicator needs at least one rank")
+        return Communicator(self, eps, name)
+
+
+class Communicator:
+    """An ordered group of ranks with private matching state."""
+
+    def __init__(self, world: World, endpoints: list[Endpoint], name: str):
+        self.world = world
+        self.engine = world.engine
+        self.fabric = world.fabric
+        self.name = name
+        self._endpoints = endpoints
+        self._states = [_RankState() for _ in endpoints]
+        # Per (src, dst) sequence numbers enforce MPI's non-overtaking
+        # matching even when a small eager message would physically beat an
+        # earlier large one through the fluid fabric.
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._match_seq: dict[tuple[int, int], int] = {}
+        self._held: dict[tuple[int, int], dict[int, _Arrival]] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self._endpoints)
+
+    def rank(self, index: int) -> "RankHandle":
+        """Handle bound to rank ``index`` for issuing operations."""
+        self._check_rank(index)
+        return RankHandle(self, index)
+
+    def endpoint_of(self, rank: int) -> Endpoint:
+        self._check_rank(rank)
+        return self._endpoints[rank]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range for {self.name} (size {self.size})")
+
+    # -- sending --------------------------------------------------------
+    def isend(self, src: int, dst: int, tag: int, payload: _t.Any = None,
+              eager: bool | None = None,
+              injection_s: float | None = None) -> Request:
+        """Non-blocking send from rank ``src`` to rank ``dst``.
+
+        ``eager`` overrides the size-based protocol choice: ``True`` forces
+        eager delivery (models a receiver that pre-posted its buffers, so no
+        rendezvous handshake is needed — the middleware's pipeline block
+        streams announce their block count in a header and use this),
+        ``False`` forces rendezvous, ``None`` applies the threshold.
+        ``injection_s`` overrides the NIC's per-message posting cost (see
+        :meth:`repro.netsim.Fabric.transfer`).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if tag < 0:
+            raise MPIError(f"negative tag: {tag!r}")
+        nbytes = payload_nbytes(payload)
+        snapshot = copy_for_send(payload)
+        req = Request(self.engine, "send")
+        env = Envelope(src, tag, nbytes)
+        pair = (src, dst)
+        seq = self._send_seq.get(pair, 0)
+        self._send_seq[pair] = seq + 1
+        if eager is None:
+            threshold = self.fabric.model.rendezvous_threshold
+            eager = threshold == 0 or nbytes <= threshold
+        if eager:
+            self._eager_send(env, dst, snapshot, req, seq, injection_s)
+        else:
+            self._rendezvous_rts(env, dst, snapshot, req, seq)
+        return req
+
+    def _eager_send(self, env: Envelope, dst: int, payload: _t.Any,
+                    req: Request, seq: int,
+                    injection_s: float | None = None) -> None:
+        tx = self.fabric.transfer(self._endpoints[env.source], self._endpoints[dst],
+                                  env.nbytes + HEADER_BYTES,
+                                  injection_s=injection_s)
+        # Eager sends complete locally as soon as the NIC has the message.
+        tx.injected.add_callback(lambda _ev: req._complete(None))
+        tx.delivered.add_callback(
+            lambda _ev: self._deliver_in_order(dst, _Arrival(env, payload=payload), seq))
+
+    def _rendezvous_rts(self, env: Envelope, dst: int, payload: _t.Any,
+                        req: Request, seq: int) -> None:
+        rts = _Rts(env.source, payload, env.nbytes, req)
+        ctrl = self.fabric.transfer(self._endpoints[env.source], self._endpoints[dst],
+                                    CONTROL_BYTES)
+        ctrl.delivered.add_callback(
+            lambda _ev: self._deliver_in_order(dst, _Arrival(env, rts=rts), seq))
+
+    def _deliver_in_order(self, dst: int, arrival: _Arrival, seq: int) -> None:
+        """Admit arrivals to matching strictly in send order per (src, dst)."""
+        pair = (arrival.env.source, dst)
+        expected = self._match_seq.get(pair, 0)
+        if seq != expected:
+            self._held.setdefault(pair, {})[seq] = arrival
+            return
+        self._on_arrival(dst, arrival)
+        self._match_seq[pair] = expected + 1
+        held = self._held.get(pair)
+        while held:
+            nxt = self._match_seq[pair]
+            queued = held.pop(nxt, None)
+            if queued is None:
+                break
+            self._on_arrival(dst, queued)
+            self._match_seq[pair] = nxt + 1
+
+    def _rendezvous_data(self, dst: int, arrival: _Arrival, recv_req: Request) -> None:
+        """Receiver matched an RTS: answer CTS, then move the payload."""
+        rts = arrival.rts
+        assert rts is not None
+        cts = self.fabric.transfer(self._endpoints[dst], self._endpoints[rts.src_rank],
+                                   CONTROL_BYTES)
+
+        def on_cts(_ev: Event) -> None:
+            data = self.fabric.transfer(self._endpoints[rts.src_rank],
+                                        self._endpoints[dst],
+                                        rts.nbytes + HEADER_BYTES)
+
+            def on_data(_ev2: Event) -> None:
+                rts.send_request._complete(None)
+                recv_req._complete(Message(arrival.env.source, arrival.env.tag,
+                                           rts.payload, rts.nbytes))
+
+            data.delivered.add_callback(on_data)
+
+        cts.delivered.add_callback(on_cts)
+
+    # -- receiving ------------------------------------------------------
+    def irecv(self, me: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive at rank ``me``."""
+        self._check_rank(me)
+        state = self._states[me]
+        req = Request(self.engine, "recv")
+        arrival: _Arrival | None = state.unexpected.pop_match_for_recv(source, tag)
+        if arrival is not None:
+            if arrival.rts is not None:
+                self._rendezvous_data(me, arrival, req)
+            else:
+                req._complete(Message(arrival.env.source, arrival.env.tag,
+                                      arrival.payload, arrival.env.nbytes))
+        else:
+            state.posted.add(source, tag, _PostedRecv(req))
+        return req
+
+    # -- probing --------------------------------------------------------
+    def iprobe(self, me: int, source: int = ANY_SOURCE,
+               tag: int = ANY_TAG) -> Envelope | None:
+        """Non-blocking probe: the earliest matching unexpected envelope.
+
+        Returns matching metadata without consuming the message (a
+        subsequent ``recv`` will still receive it), or None if nothing
+        matching has arrived yet.
+        """
+        self._check_rank(me)
+        state = self._states[me]
+        for src, tg, item in state.unexpected._entries:
+            if _matches_probe(source, tag, src, tg):
+                return Envelope(src, tg, item.env.nbytes)
+        return None
+
+    def probe_event(self, me: int, source: int = ANY_SOURCE,
+                    tag: int = ANY_TAG) -> Event:
+        """Event that fires with the Envelope of a matching arrival.
+
+        Fires immediately if a matching unexpected message is already
+        buffered.  Probing does not consume the message, but a
+        concurrently posted receive may — standard MPI probe caveats.
+        """
+        self._check_rank(me)
+        ev = Event(self.engine)
+        env = self.iprobe(me, source, tag)
+        if env is not None:
+            ev.succeed(env)
+        else:
+            self._states[me].probers.append((source, tag, ev))
+        return ev
+
+    def _on_arrival(self, dst: int, arrival: _Arrival) -> None:
+        state = self._states[dst]
+        # Wake matching probes first, so a probe observes the message even
+        # when a posted receive consumes it in the same instant.
+        if state.probers:
+            env = arrival.env
+            still = []
+            for src, tg, ev in state.probers:
+                if _matches_probe(src, tg, env.source, env.tag):
+                    ev.succeed(Envelope(env.source, env.tag, env.nbytes))
+                else:
+                    still.append((src, tg, ev))
+            state.probers = still
+        posted: _PostedRecv | None = state.posted.pop_match_for_arrival(arrival.env)
+        if posted is None:
+            state.unexpected.add(arrival.env.source, arrival.env.tag, arrival)
+            return
+        if arrival.rts is not None:
+            self._rendezvous_data(dst, arrival, posted.request)
+        else:
+            posted.request._complete(Message(arrival.env.source, arrival.env.tag,
+                                             arrival.payload, arrival.env.nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Communicator {self.name} size={self.size}>"
+
+
+class RankHandle:
+    """All MPI operations of one rank, bound for convenient calling.
+
+    Non-blocking calls (``isend``/``irecv``) return a :class:`Request`
+    immediately.  Blocking calls are generators for use with ``yield from``
+    inside a simulation process.
+    """
+
+    __slots__ = ("comm", "index")
+
+    def __init__(self, comm: Communicator, index: int):
+        self.comm = comm
+        self.index = index
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- point to point --------------------------------------------------
+    def isend(self, dst: int, tag: int, payload: _t.Any = None,
+              eager: bool | None = None,
+              injection_s: float | None = None) -> Request:
+        return self.comm.isend(self.index, dst, tag, payload, eager=eager,
+                               injection_s=injection_s)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return self.comm.irecv(self.index, source, tag)
+
+    def send(self, dst: int, tag: int, payload: _t.Any = None):
+        """Blocking send (generator)."""
+        req = self.isend(dst, tag, payload)
+        yield req.done
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive (generator). Returns the :class:`Message`."""
+        req = self.irecv(source, tag)
+        msg = yield req.done
+        return msg
+
+    def sendrecv(self, dst: int, send_tag: int, payload: _t.Any,
+                 source: int = ANY_SOURCE, recv_tag: int = ANY_TAG):
+        """Combined send+receive (generator). Returns the received Message."""
+        rreq = self.irecv(source, recv_tag)
+        sreq = self.isend(dst, send_tag, payload)
+        yield self.comm.engine.all_of([rreq.done, sreq.done])
+        return rreq.message
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Non-blocking probe; returns a matching Envelope or None."""
+        return self.comm.iprobe(self.index, source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking probe (generator); returns the matching Envelope."""
+        env = yield self.comm.probe_event(self.index, source, tag)
+        return env
+
+    def waitall(self, requests: _t.Sequence[Request]):
+        """Wait for all requests (generator); returns their messages."""
+        if requests:
+            yield self.comm.engine.all_of([r.done for r in requests])
+        return [r.message for r in requests]
+
+    def waitany(self, requests: _t.Sequence[Request]):
+        """Wait for one request (generator); returns (index, message)."""
+        if not requests:
+            raise MPIError("waitany needs at least one request")
+        yield self.comm.engine.any_of([r.done for r in requests])
+        for i, r in enumerate(requests):
+            if r.completed:
+                return i, r.message
+        raise MPIError("waitany woke with no completed request")  # pragma: no cover
+
+    # -- collectives (implemented in collectives.py) ---------------------
+    def barrier(self):
+        from .collectives import barrier
+        return barrier(self)
+
+    def bcast(self, payload: _t.Any = None, root: int = 0):
+        from .collectives import bcast
+        return bcast(self, payload, root)
+
+    def reduce(self, value: _t.Any, op=None, root: int = 0):
+        from .collectives import reduce
+        return reduce(self, value, op, root)
+
+    def allreduce(self, value: _t.Any, op=None):
+        from .collectives import allreduce
+        return allreduce(self, value, op)
+
+    def gather(self, value: _t.Any, root: int = 0):
+        from .collectives import gather
+        return gather(self, value, root)
+
+    def scatter(self, values: _t.Sequence[_t.Any] | None = None, root: int = 0):
+        from .collectives import scatter
+        return scatter(self, values, root)
+
+    def alltoall(self, values: _t.Sequence[_t.Any]):
+        from .collectives import alltoall
+        return alltoall(self, values)
+
+    def _next_coll_tag(self) -> int:
+        """Allocate a tag block (64 tags) for one collective call.
+
+        All ranks call collectives in the same order per communicator, so
+        per-rank counters stay in agreement; each collective may use
+        ``base + round`` for up to 64 internal rounds.
+        """
+        state = self.comm._states[self.index]
+        seq = state.coll_seq
+        state.coll_seq += 1
+        return MAX_USER_TAG + seq * 64
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rank {self.index}/{self.comm.size} on {self.comm.name}>"

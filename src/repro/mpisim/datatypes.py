@@ -1,0 +1,71 @@
+"""Payload handling for the simulated MPI layer.
+
+Messages carry real Python payloads (numpy arrays, tuples, dataclasses).
+For timing purposes every payload has a byte size:
+
+* numpy arrays report ``arr.nbytes`` and are copied at send time (MPI buffer
+  semantics — the sender may reuse its buffer immediately after ``isend``
+  returns, exactly like a buffered eager send);
+* ``bytes``/``bytearray``/``memoryview`` report their length;
+* :class:`Phantom` wraps a declared size with no real data — used by the
+  timing-only execution mode to move "10 million particles" without
+  allocating them;
+* anything else is measured by its pickled size (control messages).
+"""
+
+from __future__ import annotations
+
+import pickle
+import typing as _t
+
+import numpy as np
+
+
+class Phantom:
+    """A payload of declared size with no backing data (timing-only mode)."""
+
+    __slots__ = ("nbytes", "note")
+
+    def __init__(self, nbytes: int, note: str = ""):
+        if nbytes < 0:
+            raise ValueError(f"negative phantom size: {nbytes!r}")
+        self.nbytes = int(nbytes)
+        self.note = note
+
+    def __repr__(self) -> str:
+        return f"Phantom({self.nbytes}{', ' + self.note if self.note else ''})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Phantom) and other.nbytes == self.nbytes
+
+    def __hash__(self) -> int:
+        return hash(("Phantom", self.nbytes))
+
+
+def payload_nbytes(payload: _t.Any) -> int:
+    """Byte size of ``payload`` for transfer-time accounting."""
+    if payload is None:
+        return 0
+    if isinstance(payload, Phantom):
+        return payload.nbytes
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def copy_for_send(payload: _t.Any) -> _t.Any:
+    """Snapshot a payload so the sender can reuse its buffer immediately.
+
+    Arrays are copied; immutable and phantom payloads are passed through.
+    Mutable containers are shallow-copied via pickle round-trip only when
+    small (control messages); large mutable structures should be arrays.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, bytearray):
+        return bytes(payload)
+    if isinstance(payload, memoryview):
+        return payload.tobytes()
+    return payload

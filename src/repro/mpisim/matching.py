@@ -1,0 +1,81 @@
+"""Message matching: posted receives and the unexpected-message queue.
+
+MPI matching semantics: a receive matches the earliest arrived message with
+compatible ``(source, tag)``; an arriving message matches the earliest
+posted receive.  Wildcards :data:`ANY_SOURCE` / :data:`ANY_TAG` are
+supported.  Messages between the same ``(source, dest, tag)`` triple are
+non-overtaking (FIFO), which the simulated transport guarantees because
+arrivals are processed in delivery order.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+#: Wildcard source rank.
+ANY_SOURCE = -1
+#: Wildcard tag.
+ANY_TAG = -1
+
+
+class Envelope:
+    """Matching metadata of a message (no payload)."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Envelope src={self.source} tag={self.tag} {self.nbytes}B>"
+
+
+def _matches(want_src: int, want_tag: int, env: Envelope) -> bool:
+    return (want_src in (ANY_SOURCE, env.source)) and (want_tag in (ANY_TAG, env.tag))
+
+
+class MatchList:
+    """An ordered list supporting earliest-match extraction.
+
+    Used both for posted receives (entries carry the wanted ``(src, tag)``)
+    and for unexpected arrivals (entries carry the actual envelope).
+    """
+
+    def __init__(self) -> None:
+        self._entries: collections.deque[tuple[int, int, _t.Any]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, source: int, tag: int, item: _t.Any) -> None:
+        self._entries.append((source, tag, item))
+
+    def pop_match_for_arrival(self, env: Envelope) -> _t.Any | None:
+        """Earliest posted receive compatible with an arriving envelope."""
+        for i, (src, tag, item) in enumerate(self._entries):
+            if _matches(src, tag, env):
+                del self._entries[i]
+                return item
+        return None
+
+    def pop_match_for_recv(self, want_src: int, want_tag: int) -> _t.Any | None:
+        """Earliest arrival compatible with a posted receive.
+
+        Entries here store the *actual* envelope in the (source, tag) slots.
+        """
+        for i, (src, tag, item) in enumerate(self._entries):
+            if _matches(want_src, want_tag, Envelope(src, tag, 0)):
+                del self._entries[i]
+                return item
+        return None
+
+    def remove(self, item: _t.Any) -> bool:
+        """Remove a specific entry (receive cancellation). True if found."""
+        for i, (_, _, it) in enumerate(self._entries):
+            if it is item:
+                del self._entries[i]
+                return True
+        return False

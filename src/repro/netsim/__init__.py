@@ -1,0 +1,18 @@
+"""Network substrate: link models, point-to-point links, switched fabric."""
+
+from .fabric import Endpoint, Fabric, Transmission
+from .link import Link
+from .models import IB_QDR_MPI, PRESETS, TCP_10GE, TCP_IPOIB, LinkModel, preset
+
+__all__ = [
+    "LinkModel",
+    "preset",
+    "PRESETS",
+    "IB_QDR_MPI",
+    "TCP_IPOIB",
+    "TCP_10GE",
+    "Fabric",
+    "Endpoint",
+    "Transmission",
+    "Link",
+]

@@ -1,0 +1,172 @@
+"""Switched network fabric with fair-share contention.
+
+The fabric is modeled as a non-blocking crossbar: every endpoint has a
+transmit share and a receive share of ``bandwidth_Bps`` each (full duplex).
+A message flows concurrently through the sender's TX share and the
+receiver's RX share; it is delivered one wire latency after both shares have
+drained it.  Uncontended transfers therefore take exactly
+``injection + latency + bytes/bandwidth``, while concurrent flows into or
+out of the same endpoint split that endpoint's bandwidth fairly — the
+"host-device traffic competes with compute traffic" effect the paper warns
+about (Sect. III-B).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import NetworkError
+from ..sim import BandwidthShare, Engine, Event, Resource, Tracer, NULL_TRACER
+from .models import LinkModel
+
+
+class Transmission:
+    """Handle for one in-flight message.
+
+    ``injected`` fires when the sender's NIC has posted the message (the
+    sending CPU is free again); ``delivered`` fires when the last byte has
+    arrived at the destination.
+    """
+
+    __slots__ = ("src", "dst", "nbytes", "injected", "delivered", "injection_s")
+
+    def __init__(self, src: "Endpoint", dst: "Endpoint", nbytes: int,
+                 injected: Event, delivered: Event,
+                 injection_s: float | None = None):
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.injected = injected
+        self.delivered = delivered
+        #: Per-message posting cost override (None -> the link model's).
+        self.injection_s = injection_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Transmission {self.src.name}->{self.dst.name} {self.nbytes}B>"
+
+
+class Endpoint:
+    """One fabric port (a compute node or accelerator node NIC)."""
+
+    def __init__(self, fabric: "Fabric", name: str):
+        self.fabric = fabric
+        self.name = name
+        model = fabric.model
+        #: Receive-side bandwidth pool: concurrent senders share it fairly.
+        self.rx = BandwidthShare(fabric.engine, model.bandwidth_Bps)
+        #: The send-side NIC: drains its message queue FIFO.
+        self.nic = Resource(fabric.engine, capacity=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Endpoint {self.name}>"
+
+
+class Fabric:
+    """The cluster interconnect shared by compute nodes and accelerators.
+
+    By default the switch is a non-blocking crossbar: only per-endpoint
+    port bandwidth limits flows.  :meth:`set_core_capacity` adds a shared
+    core stage (finite bisection bandwidth) that every inter-node flow
+    also traverses — modelling oversubscribed switches, where accelerator
+    traffic and application traffic contend even between disjoint node
+    pairs (the scenario behind the paper's advice to keep the
+    accelerator-to-node ratio low).
+    """
+
+    def __init__(self, engine: Engine, model: LinkModel, tracer: Tracer = NULL_TRACER):
+        self.engine = engine
+        self.model = model
+        self.tracer = tracer
+        self.endpoints: dict[str, Endpoint] = {}
+        self._core: BandwidthShare | None = None
+        #: Running totals for utilization analysis.
+        self.bytes_moved = 0
+        self.messages_sent = 0
+
+    def set_core_capacity(self, capacity_Bps: float | None) -> None:
+        """Limit the switch core to ``capacity_Bps`` (None = non-blocking)."""
+        if capacity_Bps is None:
+            self._core = None
+        else:
+            self._core = BandwidthShare(self.engine, capacity_Bps)
+
+    def add_endpoint(self, name: str) -> Endpoint:
+        """Register a new port on the fabric. Names must be unique."""
+        if name in self.endpoints:
+            raise NetworkError(f"duplicate endpoint name: {name!r}")
+        ep = Endpoint(self, name)
+        self.endpoints[name] = ep
+        return ep
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {name!r}") from None
+
+    def transfer(self, src: Endpoint | str, dst: Endpoint | str, nbytes: int,
+                 weight: float = 1.0,
+                 injection_s: float | None = None) -> Transmission:
+        """Start moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns immediately with a :class:`Transmission`; the actual flow
+        runs as an internal process.  Sending to oneself is charged a
+        loopback (no wire latency, through the local RX share only).
+
+        ``injection_s`` overrides the per-message posting cost, modelling
+        protocol-specific send paths: per-block memory registration makes
+        it *higher* for middleware H2D block streams, pre-built descriptors
+        over a pinned ring make it *lower* for daemon D2H streams.
+        """
+        if isinstance(src, str):
+            src = self.endpoint(src)
+        if isinstance(dst, str):
+            dst = self.endpoint(dst)
+        if src.fabric is not self or dst.fabric is not self:
+            raise NetworkError("endpoints belong to a different fabric")
+        if nbytes < 0:
+            raise NetworkError(f"negative message size: {nbytes!r}")
+
+        if injection_s is not None and injection_s < 0:
+            raise NetworkError(f"negative injection override: {injection_s!r}")
+        injected = self.engine.event()
+        delivered = self.engine.event()
+        tx = Transmission(src, dst, nbytes, injected, delivered, injection_s)
+        self.engine.process(self._flow(tx, weight), name=f"xfer:{src.name}->{dst.name}")
+        return tx
+
+    def _flow(self, tx: Transmission, weight: float):
+        model = self.model
+        # 1. The sender NIC drains its queue FIFO: it is held for the
+        #    injection overhead and the wire transmission of this message.
+        #    This keeps queued messages (e.g. pipeline blocks) arriving
+        #    back-to-back instead of fair-sharing against each other.
+        yield tx.src.nic.acquire()
+        inj = model.injection_overhead_s if tx.injection_s is None else tx.injection_s
+        yield self.engine.timeout(inj)
+        tx.injected.succeed(None)
+        # 2. Wire transmission through the receiver's share: concurrent
+        #    senders into one endpoint split its bandwidth fairly, and the
+        #    resulting backpressure keeps this NIC busy longer.  With a
+        #    finite switch core, inter-node flows traverse it as well and
+        #    proceed at the slower of the two stages.
+        if tx.nbytes > 0:
+            rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
+            if self._core is not None and tx.src is not tx.dst:
+                yield self.engine.all_of(
+                    [rx_done, self._core.transfer(tx.nbytes, weight)])
+            else:
+                yield rx_done
+        tx.src.nic.release()
+        # 3. Propagation latency (not a NIC resource).
+        if tx.src is not tx.dst and model.latency_s > 0:
+            yield self.engine.timeout(model.latency_s)
+        self.bytes_moved += tx.nbytes
+        self.messages_sent += 1
+        self.tracer.log(self.engine.now, "net.delivered",
+                        f"{tx.src.name}->{tx.dst.name}", tx.nbytes)
+        tx.delivered.succeed(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Fabric {self.model.name} endpoints={len(self.endpoints)}>"

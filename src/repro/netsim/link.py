@@ -1,0 +1,48 @@
+"""A dedicated point-to-point duplex link.
+
+Unlike the shared :class:`~repro.netsim.fabric.Fabric`, a :class:`Link`
+connects exactly two parties with private bandwidth in each direction.  It
+is used for loopback-style paths and in unit tests; the cluster itself runs
+on the fabric.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetworkError
+from ..sim import BandwidthShare, Engine, Event
+from .models import LinkModel
+
+
+class Link:
+    """Full-duplex private link between side ``a`` and side ``b``."""
+
+    def __init__(self, engine: Engine, model: LinkModel):
+        self.engine = engine
+        self.model = model
+        self._ab = BandwidthShare(engine, model.bandwidth_Bps)
+        self._ba = BandwidthShare(engine, model.bandwidth_Bps)
+
+    def transfer(self, direction: str, nbytes: int) -> Event:
+        """Move ``nbytes`` in ``direction`` (``"ab"`` or ``"ba"``).
+
+        The returned event succeeds when the last byte arrives.
+        """
+        if direction == "ab":
+            share = self._ab
+        elif direction == "ba":
+            share = self._ba
+        else:
+            raise NetworkError(f"direction must be 'ab' or 'ba', got {direction!r}")
+        if nbytes < 0:
+            raise NetworkError(f"negative message size: {nbytes!r}")
+        done = self.engine.event()
+        self.engine.process(self._flow(share, nbytes, done))
+        return done
+
+    def _flow(self, share: BandwidthShare, nbytes: int, done: Event):
+        yield self.engine.timeout(self.model.injection_overhead_s)
+        if nbytes:
+            yield share.transfer(nbytes)
+        if self.model.latency_s:
+            yield self.engine.timeout(self.model.latency_s)
+        done.succeed(None)

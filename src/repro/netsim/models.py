@@ -1,0 +1,117 @@
+"""Network hardware models and presets.
+
+A :class:`LinkModel` captures the parameters of a network technology that
+the simulation charges time for:
+
+* ``latency_s`` — one-way wire/switch latency,
+* ``bandwidth_Bps`` — peak sustained point-to-point bandwidth,
+* ``injection_overhead_s`` — per-message posting cost at the sender (NIC
+  doorbell, descriptor setup); serialized per NIC,
+* ``rendezvous_threshold`` — message size above which the MPI layer uses a
+  rendezvous handshake instead of eager delivery.
+
+Presets are calibrated to the paper's testbed (QDR InfiniBand under Open MPI
+1.4.3: ~2 us latency, ~2660 MiB/s peak — Sect. V-A) plus TCP/IPoIB and 10GE
+models used by the rCUDA-style baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import NetworkError
+from ..units import KiB, MiB, USEC
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkModel:
+    """Timing parameters of one network technology."""
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+    injection_overhead_s: float
+    rendezvous_threshold: int
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise NetworkError(f"negative latency: {self.latency_s!r}")
+        if self.bandwidth_Bps <= 0:
+            raise NetworkError(f"non-positive bandwidth: {self.bandwidth_Bps!r}")
+        if self.injection_overhead_s < 0:
+            raise NetworkError(
+                f"negative injection overhead: {self.injection_overhead_s!r}"
+            )
+        if self.rendezvous_threshold < 0:
+            raise NetworkError(
+                f"negative rendezvous threshold: {self.rendezvous_threshold!r}"
+            )
+
+    def wire_time(self, nbytes: int) -> float:
+        """Pure transmission time of ``nbytes`` at peak bandwidth."""
+        if nbytes < 0:
+            raise NetworkError(f"negative message size: {nbytes!r}")
+        return nbytes / self.bandwidth_Bps
+
+    def message_time(self, nbytes: int) -> float:
+        """Uncontended one-way time for a single message.
+
+        ``injection + latency + bytes/bandwidth`` — the fluid fabric
+        reproduces this exactly when no other flow is active.
+        """
+        return self.injection_overhead_s + self.latency_s + self.wire_time(nbytes)
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Observed bandwidth for one message of ``nbytes`` (bytes/s).
+
+        This is what a PingPong-style benchmark reports; it ramps up with
+        message size toward ``bandwidth_Bps``.
+        """
+        if nbytes <= 0:
+            raise NetworkError(f"non-positive message size: {nbytes!r}")
+        return nbytes / self.message_time(nbytes)
+
+
+#: QDR InfiniBand under an MPI library, as in the paper's testbed:
+#: peak ~2660 MiB/s at 64 MiB messages, ~2 us small-message latency.
+IB_QDR_MPI = LinkModel(
+    name="ib-qdr-mpi",
+    latency_s=1.6 * USEC,
+    bandwidth_Bps=2660 * MiB,
+    injection_overhead_s=0.4 * USEC,
+    rendezvous_threshold=12 * KiB,
+)
+
+#: TCP over InfiniBand (IPoIB) — what a socket-based remoting framework like
+#: rCUDA v3.2 rides on: much higher latency and protocol overhead, lower
+#: sustained bandwidth.
+TCP_IPOIB = LinkModel(
+    name="tcp-ipoib",
+    latency_s=25.0 * USEC,
+    bandwidth_Bps=1150 * MiB,
+    injection_overhead_s=8.0 * USEC,
+    rendezvous_threshold=0,  # stream semantics: no eager/rendezvous split
+)
+
+#: 10 Gigabit Ethernet with a TCP stack.
+TCP_10GE = LinkModel(
+    name="tcp-10ge",
+    latency_s=50.0 * USEC,
+    bandwidth_Bps=950 * MiB,
+    injection_overhead_s=10.0 * USEC,
+    rendezvous_threshold=0,
+)
+
+PRESETS: dict[str, LinkModel] = {
+    m.name: m for m in (IB_QDR_MPI, TCP_IPOIB, TCP_10GE)
+}
+
+
+def preset(name: str) -> LinkModel:
+    """Look up a link model preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise NetworkError(
+            f"unknown link model {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,127 @@
+"""The discrete-event simulation engine.
+
+The engine owns a priority queue of (time, sequence, event) entries and a
+virtual clock.  Triggered events are enqueued and processed in timestamp
+order; equal timestamps are processed in trigger order (FIFO), which makes
+the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as _t
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+
+class Engine:
+    """Event loop and virtual clock for one simulation.
+
+    All simulation objects (networks, GPUs, MPI ranks, daemons) are built
+    against one engine and share its clock.  Typical driver::
+
+        eng = Engine()
+        proc = eng.process(my_generator())
+        eng.run(until=proc)
+        print(eng.now, proc.value)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # -- scheduling -----------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        while True:
+            if not self._heap:
+                raise SimulationError("step() on an empty event queue")
+            when, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            break
+        if when < self.now:
+            raise SimulationError("event queue went back in time")  # pragma: no cover
+        self.now = when
+        event._process()
+
+    def run(self, until: Event | float | None = None) -> _t.Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until the event is processed and return its
+          value (re-raising its exception if it failed).
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    if self.peek() == float("inf"):
+                        break
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                stop = until
+                while not stop.processed:
+                    if self.peek() == float("inf"):
+                        raise SimulationError(
+                            "deadlock: event queue empty before 'until' event fired"
+                        )
+                    self.step()
+                if not stop.ok:
+                    raise stop.value
+                return stop.value
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError(
+                    f"cannot run until {horizon}, clock already at {self.now}"
+                )
+            while self.peek() <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        finally:
+            self._running = False
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGenerator, name: str | None = None) -> Process:
+        """Start a new process from ``gen``."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """Event that succeeds once all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """Event that succeeds once any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self.now:.9f} queued={len(self._heap)}>"

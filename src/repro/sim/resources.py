@@ -1,0 +1,225 @@
+"""Synchronization and flow-control primitives built on the event kernel.
+
+* :class:`Store` — a FIFO buffer of items with blocking ``put``/``get``
+  (used as mailboxes and request queues).
+* :class:`Resource` — counted resource with ``acquire``/``release`` (a
+  ``capacity=1`` resource is a lock; used to serialize DMA engines, NIC
+  injection, CPU cores).
+* :class:`BandwidthShare` — a fluid-flow bandwidth pool: concurrent flows
+  share the capacity equally, and rates are recomputed whenever a flow
+  starts or finishes.  This models fair-share link contention without
+  simulating individual packets.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from ..errors import SimulationError
+from .engine import Engine
+from .events import Event, Timeout
+
+
+class Store:
+    """FIFO item buffer with optional capacity.
+
+    ``put(item)`` returns an event that succeeds once the item is accepted;
+    ``get()`` returns an event that succeeds with the next item.  With the
+    default infinite capacity, ``put`` always succeeds immediately.
+    """
+
+    def __init__(self, engine: Engine, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.items: collections.deque[_t.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, _t.Any]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: _t.Any) -> Event:
+        """Offer ``item``; the returned event succeeds when it is buffered."""
+        ev = Event(self.engine)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Request the next item; the event succeeds with it."""
+        ev = Event(self.engine)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progressed = True
+
+
+class Resource:
+    """Counted resource; ``capacity=1`` behaves as a mutex.
+
+    Waiters are served FIFO.  ``release()`` must be called exactly once per
+    granted ``acquire()``; a double release raises.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Returns an event that succeeds when a unit is granted."""
+        ev = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a unit; wakes the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+
+class _Flow:
+    __slots__ = ("remaining", "weight", "done")
+
+    def __init__(self, nbytes: float, weight: float, done: Event):
+        self.remaining = float(nbytes)
+        self.weight = weight
+        self.done = done
+
+
+class BandwidthShare:
+    """Fluid-flow model of a shared bandwidth pool.
+
+    A flow of *n* bytes transfers at rate ``capacity * weight / W`` where
+    ``W`` is the total weight of active flows — i.e. max-min fair sharing
+    with equal (or weighted) shares.  Whenever the flow set changes, all
+    remaining byte counts are advanced to the current time and the single
+    next-completion timer is rescheduled.
+
+    With one flow at a time this degenerates to ``n / capacity`` exactly,
+    so uncontended transfers are precise.
+    """
+
+    def __init__(self, engine: Engine, capacity_bytes_per_s: float):
+        if capacity_bytes_per_s <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity_bytes_per_s!r}")
+        self.engine = engine
+        self.capacity = float(capacity_bytes_per_s)
+        self._flows: list[_Flow] = []
+        self._timer: Timeout | None = None
+        self._last_t = engine.now
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def current_rate(self) -> float:
+        """Per-flow fair-share rate at this instant (bytes/s)."""
+        total_w = sum(f.weight for f in self._flows)
+        return self.capacity / total_w if total_w > 0 else self.capacity
+
+    def transfer(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Start a flow of ``nbytes``; the event succeeds at completion."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes!r}")
+        if weight <= 0:
+            raise SimulationError(f"flow weight must be positive: {weight!r}")
+        done = Event(self.engine)
+        if nbytes == 0:
+            done.succeed(None)
+            return done
+        self._advance()
+        self._flows.append(_Flow(nbytes, weight, done))
+        self._reschedule()
+        return done
+
+    # -- internal -------------------------------------------------------
+    def _advance(self) -> None:
+        """Debit elapsed bytes from each active flow."""
+        now = self.engine.now
+        dt = now - self._last_t
+        self._last_t = now
+        if dt <= 0 or not self._flows:
+            return
+        total_w = sum(f.weight for f in self._flows)
+        for f in self._flows:
+            f.remaining -= self.capacity * (f.weight / total_w) * dt
+        # Numerical guard: clamp tiny negatives from float error.
+        for f in self._flows:
+            if f.remaining < 0:
+                f.remaining = 0.0
+
+    #: Flows with less than this many bytes left are considered complete
+    #: (absorbs float error from incremental debiting).
+    _EPSILON_BYTES = 1e-6
+    #: Timers shorter than this cannot advance the clock reliably; the flow
+    #: is force-completed instead of spinning on zero-delay timers.
+    _MIN_TIMER_S = 1e-12
+
+    def _reschedule(self) -> None:
+        if self._timer is not None and not self._timer.processed:
+            self._timer.cancel()
+        self._timer = None
+        while True:
+            # Complete any flows that are done (or numerically done).
+            finished = [f for f in self._flows if f.remaining <= self._EPSILON_BYTES]
+            if finished:
+                self._flows = [f for f in self._flows
+                               if f.remaining > self._EPSILON_BYTES]
+                for f in finished:
+                    f.done.succeed(None)
+            if not self._flows:
+                return
+            total_w = sum(f.weight for f in self._flows)
+            next_dt = min(
+                f.remaining / (self.capacity * (f.weight / total_w))
+                for f in self._flows
+            )
+            if next_dt <= self._MIN_TIMER_S:
+                # Residue below timer resolution: drain it and loop.
+                for f in self._flows:
+                    if f.remaining / (self.capacity * (f.weight / total_w)) <= self._MIN_TIMER_S:
+                        f.remaining = 0.0
+                continue
+            self._timer = Timeout(self.engine, next_dt)
+            self._timer.add_callback(self._on_timer)
+            return
+
+    def _on_timer(self, _ev: Event) -> None:
+        self._advance()
+        self._reschedule()

@@ -1,0 +1,64 @@
+"""Lightweight instrumentation for simulations.
+
+Components append :class:`TraceRecord` entries to a shared :class:`Tracer`.
+The analysis layer turns traces into utilization figures and timelines; the
+tests use them to assert ordering properties.  Tracing is off by default and
+costs one predicate call per record when disabled.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamped, categorized payload."""
+
+    time: float
+    category: str
+    actor: str
+    detail: _t.Any = None
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category."""
+
+    def __init__(self, enabled: bool = True, categories: _t.Iterable[str] | None = None):
+        self.enabled = enabled
+        self.categories: frozenset[str] | None = (
+            frozenset(categories) if categories is not None else None
+        )
+        self.records: list[TraceRecord] = []
+
+    def log(self, time: float, category: str, actor: str, detail: _t.Any = None) -> None:
+        """Append a record if tracing is enabled for ``category``."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, actor, detail))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def by_actor(self, actor: str) -> list[TraceRecord]:
+        """All records from one actor, in time order."""
+        return [r for r in self.records if r.actor == actor]
+
+    def counts(self) -> dict[str, int]:
+        """Record counts per category."""
+        out: dict[str, int] = collections.Counter()
+        for r in self.records:
+            out[r.category] += 1
+        return dict(out)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+#: A shared no-op tracer for components constructed without one.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,5 @@
+"""Workloads: bandwidth micro-benchmarks, linear algebra, MP2C."""
+
+from . import bandwidth, linalg, mp2c, pingpong
+
+__all__ = ["bandwidth", "pingpong", "linalg", "mp2c"]

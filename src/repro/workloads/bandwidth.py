@@ -1,0 +1,77 @@
+"""Port of the CUDA SDK ``bandwidthTest`` to the accelerator API.
+
+Measures host<->device copy bandwidth over a sweep of message sizes on any
+accelerator-like front-end (remote or local), in virtual time.  This is the
+workload behind Figures 5-8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..mpisim import Phantom
+from ..sim import Engine
+from ..units import mib_per_s
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthPoint:
+    """One measured point of the sweep."""
+
+    nbytes: int
+    seconds: float
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.nbytes / self.seconds
+
+    @property
+    def mib_per_s(self) -> float:
+        return mib_per_s(self.bytes_per_s)
+
+
+def sweep(engine: Engine, accelerator: _t.Any, sizes: _t.Sequence[int],
+          direction: str = "h2d", transfer: _t.Any = None,
+          repeats: int = 1) -> list[BandwidthPoint]:
+    """Run the bandwidth test (generator; drive inside a process).
+
+    ``accelerator`` is any object with the ``mem_alloc`` / ``memcpy_h2d`` /
+    ``memcpy_d2h`` / ``mem_free`` generator interface.  Payloads are
+    phantoms: the protocol path and all timing are exercised without
+    materializing gigabytes.  The simulation is deterministic, so
+    ``repeats=1`` measures exactly; more repeats average over protocol
+    warm-up effects if desired.
+    """
+    if direction not in ("h2d", "d2h"):
+        raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+    points: list[BandwidthPoint] = []
+    for nbytes in sizes:
+        ptr = yield from accelerator.mem_alloc(nbytes)
+        if direction == "d2h":
+            # Populate the buffer (timing-only) so d2h has a source.
+            yield from accelerator.memcpy_h2d(ptr, Phantom(nbytes),
+                                              transfer=transfer)
+        total = 0.0
+        for _ in range(repeats):
+            t0 = engine.now
+            if direction == "h2d":
+                yield from accelerator.memcpy_h2d(ptr, Phantom(nbytes),
+                                                  transfer=transfer)
+            else:
+                yield from accelerator.memcpy_d2h(ptr, nbytes,
+                                                  transfer=transfer)
+            total += engine.now - t0
+        points.append(BandwidthPoint(nbytes, total / repeats))
+        yield from accelerator.mem_free(ptr)
+    return points
+
+
+#: The message sizes of the paper's Figures 5-8 (1 KiB ... 64 MiB, x4).
+def paper_sizes(max_kib: int = 65536, step: int = 4) -> list[int]:
+    sizes = []
+    k = 1
+    while k <= max_kib:
+        sizes.append(k * 1024)
+        k *= step
+    return sizes

@@ -1,0 +1,21 @@
+"""Multi-GPU dense linear algebra (the MAGMA workloads of Figures 9/10)."""
+
+from . import kernels  # publishes device kernels to the extension catalog
+from .cholesky import CholeskyResult, cholesky_factorize, cholesky_flops
+from .distribution import BlockCyclic
+from .panel import householder_panel, potf2
+from .qr import QRResult, qr_factorize, qr_flops, reconstruct_q
+
+__all__ = [
+    "BlockCyclic",
+    "householder_panel",
+    "potf2",
+    "qr_factorize",
+    "qr_flops",
+    "QRResult",
+    "reconstruct_q",
+    "cholesky_factorize",
+    "cholesky_flops",
+    "CholeskyResult",
+    "kernels",
+]

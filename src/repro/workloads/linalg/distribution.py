@@ -1,0 +1,68 @@
+"""1-D block-cyclic column distribution, as used by MAGMA's mgpu routines.
+
+The matrix is split into column panels of width ``nb``; panel *j* is owned
+by GPU ``j mod g``.  Each GPU stores its panels as full-height column
+blocks in device memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...errors import WorkloadError
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockCyclic:
+    """Panel layout of an n x n matrix over g GPUs."""
+
+    n: int
+    nb: int
+    n_gpus: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise WorkloadError(f"matrix size must be positive: {self.n!r}")
+        if self.nb <= 0:
+            raise WorkloadError(f"panel width must be positive: {self.nb!r}")
+        if self.n_gpus <= 0:
+            raise WorkloadError(f"need at least one GPU: {self.n_gpus!r}")
+
+    @property
+    def n_panels(self) -> int:
+        return (self.n + self.nb - 1) // self.nb
+
+    def owner(self, panel: int) -> int:
+        """The GPU that stores panel ``panel``."""
+        self._check(panel)
+        return panel % self.n_gpus
+
+    def panels_of(self, gpu: int) -> list[int]:
+        """All panels owned by one GPU, ascending."""
+        if not 0 <= gpu < self.n_gpus:
+            raise WorkloadError(f"gpu {gpu} out of range")
+        return list(range(gpu, self.n_panels, self.n_gpus))
+
+    def col0(self, panel: int) -> int:
+        """First column of a panel."""
+        self._check(panel)
+        return panel * self.nb
+
+    def width(self, panel: int) -> int:
+        """Width of a panel (the last one may be narrower)."""
+        self._check(panel)
+        return min(self.nb, self.n - panel * self.nb)
+
+    def cols(self, panel: int) -> slice:
+        """Column slice of a panel."""
+        c0 = self.col0(panel)
+        return slice(c0, c0 + self.width(panel))
+
+    def trailing_panels_of(self, gpu: int, after: int) -> list[int]:
+        """Panels owned by ``gpu`` strictly right of panel ``after``."""
+        return [j for j in self.panels_of(gpu) if j > after]
+
+    def _check(self, panel: int) -> None:
+        if not 0 <= panel < self.n_panels:
+            raise WorkloadError(
+                f"panel {panel} out of range (n_panels={self.n_panels})")

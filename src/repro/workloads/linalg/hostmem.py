@@ -1,0 +1,24 @@
+"""Host-side payload coercion shared by the linalg drivers."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+
+def as_matrix(raw: _t.Any, rows: int, cols: int) -> np.ndarray:
+    """Coerce a downloaded payload to a (rows x cols) float64 matrix.
+
+    Downloads may come back typed (full-buffer reads with recorded meta)
+    or as flat uint8 (partial reads); both are handled.
+    """
+    a = np.asarray(raw)
+    if a.dtype != np.float64:
+        a = np.ascontiguousarray(a).view(np.float64)
+    if a.size != rows * cols:
+        raise WorkloadError(
+            f"downloaded {a.size} doubles, expected {rows}x{cols}")
+    return a.reshape(rows, cols)

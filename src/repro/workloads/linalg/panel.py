@@ -1,0 +1,106 @@
+"""CPU-side panel factorizations (the LAPACK parts of the hybrid algorithms).
+
+MAGMA's multi-GPU factorizations keep the skinny, latency-bound panel work
+on the host CPU: Householder panel QR with the compact-WY T factor
+(``dgeqrf`` + ``dlarft``) and the small Cholesky of the diagonal block
+(``dpotf2``).  These run with real numerics in ``real`` mode and are
+charged to the host CPU's panel flop rate in both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+
+def householder_panel(panel: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Factor an (h x w) panel: returns (V, T, R).
+
+    ``V`` is unit lower trapezoidal (h x w), ``T`` upper triangular (w x w)
+    such that ``Q = I - V @ T @ V.T`` is the product of the w Householder
+    reflections, and ``R`` is the w x w upper-triangular factor.  Applying
+    ``Q.T`` to the panel reproduces ``[[R], [0]]``.
+    """
+    h, w = panel.shape
+    if h < w:
+        raise WorkloadError(f"panel must be tall: got {h}x{w}")
+    A = np.array(panel, dtype=np.float64)
+    V = np.zeros((h, w))
+    betas = np.zeros(w)
+    for j in range(w):
+        x = A[j:, j].copy()
+        normx = np.linalg.norm(x)
+        if normx == 0.0:
+            beta = 0.0
+            v = np.zeros_like(x)
+            v[0] = 1.0
+        else:
+            alpha = -np.sign(x[0]) * normx if x[0] != 0 else -normx
+            v = x.copy()
+            v[0] -= alpha
+            vnorm2 = v @ v
+            if vnorm2 == 0.0:
+                beta = 0.0
+                v = np.zeros_like(x)
+                v[0] = 1.0
+            else:
+                beta = 2.0 / vnorm2
+        V[j:, j] = v
+        # Apply H_j = I - beta v v^T to the trailing columns of the panel.
+        if beta != 0.0:
+            tail = A[j:, j:]
+            tail -= beta * np.outer(v, v @ tail)
+        betas[j] = beta
+    # Normalize V to unit diagonal (LAPACK convention): v_j <- v_j / v_j[0],
+    # folding the scale into beta.
+    for j in range(w):
+        pivot = V[j, j]
+        if pivot != 0.0:
+            V[j:, j] /= pivot
+            betas[j] *= pivot * pivot
+        else:
+            V[j, j] = 1.0
+    T = form_t(V, betas)
+    R = np.triu(A[:w, :])
+    return V, T, R
+
+
+def form_t(V: np.ndarray, betas: np.ndarray) -> np.ndarray:
+    """Build the compact-WY T factor (``dlarft`` forward/columnwise)."""
+    w = V.shape[1]
+    T = np.zeros((w, w))
+    for i in range(w):
+        T[i, i] = betas[i]
+        if i > 0 and betas[i] != 0.0:
+            T[:i, i] = -betas[i] * (T[:i, :i] @ (V[:, :i].T @ V[:, i]))
+    return T
+
+
+def apply_block_reflector(V: np.ndarray, T: np.ndarray, C: np.ndarray) -> None:
+    """C <- Q^T C with Q = I - V T V^T (``dlarfb``, left, transpose).
+
+    This is the host-side reference used to verify the device kernel and
+    reconstruct Q in the tests.
+    """
+    W = V.T @ C
+    W = T.T @ W
+    C -= V @ W
+
+
+def panel_qr_flops(h: int, w: int) -> float:
+    """dgeqrf + dlarft flop count for an h x w panel."""
+    return 2.0 * h * w * w + h * w * w / 3.0
+
+
+def potf2(block: np.ndarray) -> np.ndarray:
+    """Cholesky of the diagonal block (lower). Raises on non-SPD input."""
+    try:
+        return np.linalg.cholesky(block)
+    except np.linalg.LinAlgError as exc:
+        raise WorkloadError(f"diagonal block not positive definite: {exc}") from exc
+
+
+def potf2_flops(w: int) -> float:
+    """dpotf2 flop count for a w x w block."""
+    return w ** 3 / 3.0

@@ -1,0 +1,30 @@
+"""MP2C-like multi-scale particle dynamics (the workload of Figure 11)."""
+
+from . import kernels  # publishes the srd_collide kernel
+from .config import MP2CConfig, PAPER_RUNS
+from .coupling import MP2CResult, run_mp2c
+from .domain import SlabDecomposition
+from .md import lj_forces, stream, velocity_verlet, wrap_periodic
+from .srd import (
+    kinetic_energy,
+    momentum,
+    srd_collision,
+    thermal_velocities,
+)
+
+__all__ = [
+    "MP2CConfig",
+    "PAPER_RUNS",
+    "run_mp2c",
+    "MP2CResult",
+    "SlabDecomposition",
+    "srd_collision",
+    "kinetic_energy",
+    "momentum",
+    "thermal_velocities",
+    "stream",
+    "wrap_periodic",
+    "lj_forces",
+    "velocity_verlet",
+    "kernels",
+]

@@ -1,0 +1,141 @@
+"""Molecular-dynamics pieces: streaming, periodic wrap, LJ solute forces.
+
+The SRD solvent is an ideal gas between collisions: particles stream
+ballistically.  Solute particles (when present) interact through a
+truncated Lennard-Jones potential evaluated with a cell list, integrated
+with velocity Verlet — the "molecular dynamics part" MP2C couples to the
+mesoscopic solvent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import WorkloadError
+
+
+def stream(pos: np.ndarray, vel: np.ndarray, dt: float) -> None:
+    """Ballistic streaming, in place."""
+    pos += vel * dt
+
+
+def wrap_periodic(pos: np.ndarray, box: np.ndarray) -> None:
+    """Fold positions into [0, box) per axis, in place."""
+    np.mod(pos, box, out=pos)
+
+
+def lj_forces(pos: np.ndarray, box: np.ndarray, rcut: float = 2.5,
+              epsilon: float = 1.0, sigma: float = 1.0) -> tuple[np.ndarray, float]:
+    """Truncated LJ forces and potential energy with a cell list.
+
+    Suitable for the (thousands of) solute particles; the solvent never
+    enters here.  Periodic minimum-image convention.
+    """
+    n = pos.shape[0]
+    box = np.asarray(box, dtype=np.float64)
+    if np.any(box < 2 * rcut):
+        raise WorkloadError(f"box {box} too small for cutoff {rcut}")
+    forces = np.zeros_like(pos)
+    energy = 0.0
+    if n < 2:
+        return forces, energy
+    # Cell list with cell edge >= rcut.
+    dims = np.maximum((box / rcut).astype(int), 1)
+    cell_of = (pos / (box / dims)).astype(int)
+    cell_of = np.minimum(cell_of, dims - 1)
+    flat = (cell_of[:, 0] * dims[1] + cell_of[:, 1]) * dims[2] + cell_of[:, 2]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    starts = np.searchsorted(sorted_flat, np.arange(dims.prod() + 1))
+
+    def members(cx, cy, cz):
+        c = (cx % dims[0] * dims[1] + cy % dims[1]) * dims[2] + cz % dims[2]
+        return order[starts[c]:starts[c + 1]]
+
+    rcut2 = rcut * rcut
+    seen_pairs = set()
+    for cx in range(dims[0]):
+        for cy in range(dims[1]):
+            for cz in range(dims[2]):
+                home = members(cx, cy, cz)
+                if home.size == 0:
+                    continue
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dz in (-1, 0, 1):
+                            ox, oy, oz = (cx + dx) % dims[0], (cy + dy) % dims[1], (cz + dz) % dims[2]
+                            key = ((cx, cy, cz), (ox, oy, oz))
+                            rkey = (key[1], key[0])
+                            if rkey in seen_pairs:
+                                continue
+                            seen_pairs.add(key)
+                            other = members(ox, oy, oz)
+                            if other.size == 0:
+                                continue
+                            same = (ox, oy, oz) == (cx, cy, cz)
+                            d = pos[home][:, None, :] - pos[other][None, :, :]
+                            d -= box * np.round(d / box)
+                            r2 = np.sum(d * d, axis=2)
+                            if same:
+                                iu = np.triu_indices(home.size, k=1)
+                                mask = np.zeros_like(r2, dtype=bool)
+                                mask[iu] = True
+                            else:
+                                mask = np.ones_like(r2, dtype=bool)
+                            mask &= (r2 < rcut2) & (r2 > 0)
+                            ii, jj = np.nonzero(mask)
+                            if ii.size == 0:
+                                continue
+                            r2s = r2[ii, jj]
+                            sr6 = (sigma * sigma / r2s) ** 3
+                            fmag = 24 * epsilon * (2 * sr6 * sr6 - sr6) / r2s
+                            fvec = d[ii, jj] * fmag[:, None]
+                            np.add.at(forces, home[ii], fvec)
+                            np.add.at(forces, other[jj], -fvec)
+                            energy += float(np.sum(4 * epsilon * (sr6 * sr6 - sr6)))
+    return forces, energy
+
+
+def velocity_verlet(pos: np.ndarray, vel: np.ndarray, forces: np.ndarray,
+                    box: np.ndarray, dt: float, rcut: float = 2.5
+                    ) -> tuple[np.ndarray, float]:
+    """One velocity-Verlet step, in place; returns (new_forces, energy)."""
+    vel += 0.5 * dt * forces
+    pos += dt * vel
+    wrap_periodic(pos, box)
+    new_forces, energy = lj_forces(pos, box, rcut)
+    vel += 0.5 * dt * new_forces
+    return new_forces, energy
+
+
+def lj_forces_on_local(local_pos: np.ndarray, other_pos: np.ndarray,
+                       box: np.ndarray, rcut: float = 2.5,
+                       epsilon: float = 1.0, sigma: float = 1.0,
+                       skip_self: bool = False) -> np.ndarray:
+    """LJ forces exerted on ``local_pos`` by ``other_pos`` (minimum image).
+
+    The domain-decomposed solute dynamics computes forces on each rank's
+    own solutes from its locals plus the halo particles received from the
+    neighbouring ranks; with ``skip_self=True`` the (identical) arrays'
+    self-pairs are excluded.  Brute-force pairwise — solute counts are
+    small relative to the solvent.
+    """
+    nl = local_pos.shape[0]
+    forces = np.zeros_like(local_pos)
+    if nl == 0 or other_pos.shape[0] == 0:
+        return forces
+    box = np.asarray(box, dtype=np.float64)
+    d = local_pos[:, None, :] - other_pos[None, :, :]
+    d -= box * np.round(d / box)
+    r2 = np.sum(d * d, axis=2)
+    mask = (r2 < rcut * rcut) & (r2 > 0)
+    if skip_self:
+        n = min(nl, other_pos.shape[0])
+        mask[np.arange(n), np.arange(n)] = False
+    ii, jj = np.nonzero(mask)
+    if ii.size:
+        r2s = r2[ii, jj]
+        sr6 = (sigma * sigma / r2s) ** 3
+        fmag = 24 * epsilon * (2 * sr6 * sr6 - sr6) / r2s
+        np.add.at(forces, ii, d[ii, jj] * fmag[:, None])
+    return forces

@@ -1,0 +1,67 @@
+"""Port of the Intel MPI Benchmarks (IMB) PingPong.
+
+Measures pure MPI point-to-point bandwidth between two ranks — the upper
+bound the paper compares its copy protocols against ("MPI Infiniband (IMB
+PingPong)" in Figures 5-8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..mpisim import Communicator, Phantom
+from ..sim import Engine
+from ..units import mib_per_s
+
+_TAG = 77
+
+
+@dataclasses.dataclass(frozen=True)
+class PingPongPoint:
+    """One PingPong measurement: half round-trip time, IMB-style."""
+
+    nbytes: int
+    half_rtt: float
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.nbytes / self.half_rtt
+
+    @property
+    def mib_per_s(self) -> float:
+        return mib_per_s(self.bytes_per_s)
+
+
+def run_pingpong(engine: Engine, comm: Communicator, rank_a: int, rank_b: int,
+                 sizes: _t.Sequence[int], repeats: int = 1) -> list[PingPongPoint]:
+    """Run PingPong between two ranks; returns the bandwidth curve.
+
+    Spawns both rank processes and drives the engine (call from plain
+    code, not from inside a simulation process).
+    """
+    results: list[PingPongPoint] = []
+
+    def ponger():
+        ra = comm.rank(rank_b)
+        for _ in sizes:
+            for _ in range(repeats):
+                msg = yield from ra.recv(source=rank_a, tag=_TAG)
+                yield from ra.send(rank_a, _TAG, msg.payload)
+
+    def pinger():
+        ra = comm.rank(rank_a)
+        for nbytes in sizes:
+            payload = Phantom(nbytes)
+            total = 0.0
+            for _ in range(repeats):
+                t0 = engine.now
+                yield from ra.send(rank_b, _TAG, payload)
+                yield from ra.recv(source=rank_b, tag=_TAG)
+                total += engine.now - t0
+            results.append(PingPongPoint(nbytes, total / (2 * repeats)))
+
+    p1 = engine.process(ponger(), name="pingpong-b")
+    p0 = engine.process(pinger(), name="pingpong-a")
+    engine.run(until=engine.all_of([p0, p1]))
+    return results

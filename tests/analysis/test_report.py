@@ -1,0 +1,54 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis import FigureResult
+from repro.analysis.report import (
+    load_figure,
+    load_results_dir,
+    markdown_report,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    for fig_id, title in [("fig05", "H2D"), ("ext-tcp", "TCP"),
+                          ("fig11", "MP2C")]:
+        fig = FigureResult(fig_id, title, "x", "y", notes="a note")
+        fig.add("s1", [1, 2], [10.0, 20.0])
+        with open(tmp_path / f"{fig_id}.json", "w") as fh:
+            json.dump(fig.to_dict(), fh)
+    return tmp_path
+
+
+class TestReport:
+    def test_load_figure_roundtrip(self, results_dir):
+        fig = load_figure(results_dir / "fig05.json")
+        assert fig.fig_id == "fig05"
+        assert fig.get("s1").at(2) == 20.0
+        assert fig.notes == "a note"
+
+    def test_load_dir_orders_paper_figures_first(self, results_dir):
+        figs = load_results_dir(results_dir)
+        assert [f.fig_id for f in figs] == ["fig05", "fig11", "ext-tcp"]
+
+    def test_markdown_contains_tables(self, results_dir):
+        text = markdown_report(load_results_dir(results_dir))
+        assert "## fig05 — H2D" in text
+        assert "```" in text
+        assert "20.0" in text
+        assert "*a note*" in text
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = tmp_path / "report.md"
+        n = write_report(results_dir, out)
+        assert n == 3
+        assert out.read_text().startswith("# Regenerated results")
+
+    def test_empty_dir(self, tmp_path):
+        out = tmp_path / "r.md"
+        assert write_report(tmp_path, out) == 0
+        assert "0 experiment(s)" in out.read_text()

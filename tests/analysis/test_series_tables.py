@@ -1,0 +1,62 @@
+"""Tests for the figure-series containers and table rendering."""
+
+import pytest
+
+from repro.analysis import FigureResult, Series, render_figure
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x values"):
+            Series("s", [1, 2], [1.0])
+
+    def test_at_and_peak(self):
+        s = Series("s", [1, 2, 4], [10.0, 30.0, 20.0])
+        assert s.at(2) == 30.0
+        assert s.peak() == 30.0
+        with pytest.raises(KeyError):
+            s.at(3)
+
+    def test_len(self):
+        assert len(Series("s", [1], [2.0])) == 1
+
+
+class TestFigureResult:
+    def make(self):
+        fig = FigureResult("figX", "Title", "N", "GF/s")
+        fig.add("a", [1, 2], [1.0, 2.0])
+        fig.add("b", [1, 2, 3], [3.0, 4.0, 5.0])
+        return fig
+
+    def test_get_and_labels(self):
+        fig = self.make()
+        assert fig.labels() == ["a", "b"]
+        assert fig.get("b").at(3) == 5.0
+        with pytest.raises(KeyError, match="no series"):
+            fig.get("zzz")
+
+    def test_to_dict_roundtrippable(self):
+        import json
+        fig = self.make()
+        d = fig.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["series"][0]["label"] == "a"
+
+    def test_render_contains_all_points(self):
+        fig = self.make()
+        text = fig.render()
+        assert "figX: Title" in text
+        for token in ("a", "b", "1", "2", "3", "5.0"):
+            assert token in text
+
+    def test_render_missing_cells_dashed(self):
+        fig = self.make()
+        # Series "a" has no x=3 point.
+        lines = render_figure(fig).splitlines()
+        row3 = [l for l in lines if l.strip().startswith("3")][0]
+        assert "-" in row3
+
+    def test_notes_rendered(self):
+        fig = FigureResult("f", "t", "x", "y", notes="hello note")
+        fig.add("s", [1], [1.0])
+        assert "hello note" in fig.render()

@@ -1,0 +1,22 @@
+"""Shared fixtures: a small paper-testbed cluster."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, Cluster, paper_testbed
+
+
+@pytest.fixture
+def cluster():
+    """1 compute node + 3 accelerators on QDR IB, like the paper's testbed."""
+    return Cluster(paper_testbed(n_compute=1, n_accelerators=3))
+
+
+@pytest.fixture
+def cluster2cn():
+    """2 compute nodes + 2 accelerators."""
+    return Cluster(paper_testbed(n_compute=2, n_accelerators=2))
+
+
+@pytest.fixture
+def sess(cluster):
+    return cluster.session()

@@ -1,0 +1,135 @@
+"""Unit tests for the wire protocol and block-size policies."""
+
+import pytest
+
+from repro.core import (
+    AcceleratorHandle,
+    AdaptiveBlockPolicy,
+    FixedBlockPolicy,
+    NAIVE_TRANSFER,
+    Op,
+    Request,
+    Response,
+    Status,
+    TransferConfig,
+    data_tag,
+    next_request_id,
+    pipeline,
+    reply_tag,
+)
+from repro.errors import (
+    AcceleratorFault,
+    AllocationError,
+    MiddlewareError,
+    ProtocolError,
+)
+from repro.mpisim import MAX_USER_TAG
+from repro.units import KiB, MiB
+
+
+class TestRequestResponse:
+    def test_request_validation(self):
+        with pytest.raises(ProtocolError):
+            Request(op="not-an-op", req_id=1, reply_to=0)
+        with pytest.raises(ProtocolError):
+            Request(op=Op.PING, req_id=0, reply_to=0)
+        with pytest.raises(ProtocolError):
+            Request(op=Op.PING, req_id=1, reply_to=-1)
+
+    def test_response_ok(self):
+        r = Response(req_id=1, status=Status.OK, value=42)
+        assert r.ok
+        r.raise_for_status()  # no-op
+
+    def test_raise_for_status_mapping(self):
+        with pytest.raises(AcceleratorFault):
+            Response(1, Status.BROKEN).raise_for_status()
+        with pytest.raises(AllocationError):
+            Response(1, Status.UNAVAILABLE).raise_for_status()
+        with pytest.raises(AllocationError):
+            Response(1, Status.DENIED).raise_for_status()
+        with pytest.raises(MiddlewareError):
+            Response(1, Status.ERROR, error="boom").raise_for_status()
+
+    def test_handle_validation(self):
+        with pytest.raises(ProtocolError):
+            AcceleratorHandle(-1, 0)
+        with pytest.raises(ProtocolError):
+            AcceleratorHandle(0, -1)
+
+    def test_handles_hashable_and_frozen(self):
+        h = AcceleratorHandle(1, 2)
+        assert hash(h) == hash(AcceleratorHandle(1, 2))
+        with pytest.raises(Exception):
+            h.ac_id = 5
+
+
+class TestTags:
+    def test_request_ids_unique(self):
+        ids = {next_request_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_tags_below_collective_space(self):
+        for _ in range(100):
+            rid = next_request_id()
+            assert 0 < reply_tag(rid) < MAX_USER_TAG
+            assert 0 < data_tag(rid) < MAX_USER_TAG
+
+    def test_reply_and_data_tags_disjoint(self):
+        rid = next_request_id()
+        assert reply_tag(rid) != data_tag(rid)
+        # The ranges themselves never overlap.
+        assert reply_tag(1) < 300_000 <= data_tag(1)
+
+
+class TestBlockPolicies:
+    def test_fixed_policy(self):
+        p = FixedBlockPolicy(128 * KiB)
+        assert p.block_bytes(MiB, "h2d") == 128 * KiB
+        assert p.name == "pipeline-128K"
+
+    def test_fixed_policy_rejects_nonpositive(self):
+        with pytest.raises(MiddlewareError):
+            FixedBlockPolicy(0)
+
+    def test_adaptive_policy_h2d_threshold(self):
+        p = AdaptiveBlockPolicy()
+        assert p.block_bytes(8 * MiB, "h2d") == 128 * KiB
+        assert p.block_bytes(9 * MiB, "h2d") == 512 * KiB
+        assert p.block_bytes(64 * MiB, "h2d") == 512 * KiB
+
+    def test_adaptive_policy_d2h_always_small(self):
+        p = AdaptiveBlockPolicy()
+        for n in (MiB, 16 * MiB, 64 * MiB):
+            assert p.block_bytes(n, "d2h") == 128 * KiB
+
+    def test_policy_name(self):
+        assert AdaptiveBlockPolicy().name == "pipeline-128-512K"
+
+
+class TestTransferConfig:
+    def test_naive_plan_single_block(self):
+        assert NAIVE_TRANSFER.plan_blocks(10 * MiB, "h2d") == [(0, 10 * MiB)]
+
+    def test_pipeline_plan_covers_payload(self):
+        cfg = pipeline(128 * KiB)
+        blocks = cfg.plan_blocks(MiB + 5, "h2d")
+        assert blocks[0] == (0, 128 * KiB)
+        assert sum(size for _, size in blocks) == MiB + 5
+        offsets = [off for off, _ in blocks]
+        assert offsets == sorted(offsets)
+
+    def test_plan_zero_bytes(self):
+        assert pipeline(KiB).plan_blocks(0, "h2d") == []
+
+    def test_plan_negative_rejected(self):
+        with pytest.raises(MiddlewareError):
+            pipeline(KiB).plan_blocks(-1, "h2d")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(MiddlewareError):
+            TransferConfig(protocol="telepathy")
+
+    def test_names(self):
+        assert NAIVE_TRANSFER.name == "naive"
+        assert pipeline(64 * KiB).name == "pipeline-64K"

@@ -1,0 +1,68 @@
+"""Tests for the synchronous session driver."""
+
+import pytest
+
+from repro.core import SyncSession
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def sess(eng):
+    return SyncSession(eng)
+
+
+class TestSyncSession:
+    def test_call_returns_value(self, eng, sess):
+        def op():
+            yield eng.timeout(1.5)
+            return "done"
+
+        assert sess.call(op()) == "done"
+        assert sess.now == 1.5
+
+    def test_calls_accumulate_time(self, eng, sess):
+        def op(d):
+            yield eng.timeout(d)
+
+        sess.call(op(1.0))
+        sess.call(op(2.0))
+        assert sess.now == 3.0
+
+    def test_parallel_overlaps(self, eng, sess):
+        def op(d, v):
+            yield eng.timeout(d)
+            return v
+
+        results = sess.parallel([op(3.0, "a"), op(1.0, "b")])
+        assert results == ["a", "b"]
+        assert sess.now == 3.0
+
+    def test_parallel_empty(self, sess):
+        assert sess.parallel([]) == []
+
+    def test_sleep(self, sess):
+        sess.sleep(5.0)
+        assert sess.now == 5.0
+
+    def test_exception_propagates(self, eng, sess):
+        def bad():
+            yield eng.timeout(0.1)
+            raise ValueError("op failed")
+
+        with pytest.raises(ValueError, match="op failed"):
+            sess.call(bad())
+
+    def test_deadlocked_call_raises(self, eng, sess):
+        ev = eng.event()
+
+        def stuck():
+            yield ev
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sess.call(stuck())

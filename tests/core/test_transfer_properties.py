@@ -1,0 +1,133 @@
+"""Property-based tests: chunking, reassembly, and end-to-end transfers."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster, paper_testbed
+from repro.core import pipeline, NAIVE_TRANSFER
+from repro.core.transfer import (
+    as_flat_bytes,
+    assemble_chunks,
+    payload_meta,
+    slice_chunks,
+)
+from repro.errors import MiddlewareError
+from repro.mpisim import Phantom
+
+
+class TestChunkHelpers:
+    @given(st.binary(min_size=0, max_size=4096), st.integers(1, 512))
+    @settings(max_examples=150, deadline=None)
+    def test_slice_assemble_roundtrip(self, data, block):
+        blocks = [(off, min(block, len(data) - off))
+                  for off in range(0, len(data), block)]
+        chunks = slice_chunks(np.frombuffer(data, np.uint8), blocks)
+        out = assemble_chunks(chunks, blocks, None)
+        assert bytes(out) == data
+
+    @given(st.integers(1, 10_000_000), st.integers(1, 1_000_000))
+    @settings(max_examples=150, deadline=None)
+    def test_phantom_slicing_preserves_total(self, nbytes, block):
+        blocks = [(off, min(block, nbytes - off))
+                  for off in range(0, nbytes, block)]
+        chunks = slice_chunks(Phantom(nbytes), blocks)
+        assert all(isinstance(c, Phantom) for c in chunks)
+        assert sum(c.nbytes for c in chunks) == nbytes
+        out = assemble_chunks(chunks, blocks, None)
+        assert isinstance(out, Phantom)
+        assert out.nbytes == nbytes
+
+    def test_slice_size_mismatch_rejected(self):
+        with pytest.raises(MiddlewareError, match="does not match"):
+            slice_chunks(np.zeros(10, np.uint8), [(0, 5)])
+
+    def test_assemble_count_mismatch_rejected(self):
+        with pytest.raises(MiddlewareError, match="chunks"):
+            assemble_chunks([b"ab"], [(0, 2), (2, 2)], None)
+
+    def test_assemble_chunk_size_mismatch_rejected(self):
+        with pytest.raises(MiddlewareError, match="block size"):
+            assemble_chunks([np.zeros(3, np.uint8)], [(0, 2)], None)
+
+    def test_assemble_with_meta_restores_type(self):
+        arr = np.arange(6, dtype=np.float32).reshape(2, 3)
+        flat = as_flat_bytes(arr)
+        blocks = [(0, 12), (12, 12)]
+        chunks = slice_chunks(arr, blocks)
+        out = assemble_chunks(chunks, blocks, payload_meta(arr))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, arr)
+        assert flat.nbytes == 24
+
+    def test_unsupported_payload_rejected(self):
+        with pytest.raises(MiddlewareError, match="unsupported"):
+            as_flat_bytes({"a": 1})
+
+    def test_meta_only_for_arrays(self):
+        assert payload_meta(b"abc") is None
+        assert payload_meta(Phantom(5)) is None
+        assert payload_meta(np.zeros(3)) == ("<f8", (3,))
+
+
+class TestEndToEndProperty:
+    """One shared cluster; hypothesis drives payload shapes through it."""
+
+    @pytest.fixture(scope="class")
+    def rig(self):
+        cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=1))
+        sess = cluster.session()
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0])
+        return cluster, sess, ac
+
+    @given(nbytes=st.integers(1, 300_000),
+           block=st.sampled_from([256, 4096, 65536, 131072]),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_pipeline_roundtrip_arbitrary_sizes(self, rig, nbytes, block, seed):
+        cluster, sess, ac = rig
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, nbytes).astype(np.uint8)
+        cfg = pipeline(block)
+        ptr = sess.call(ac.mem_alloc(nbytes))
+        sess.call(ac.memcpy_h2d(ptr, data, transfer=cfg))
+        out = sess.call(ac.memcpy_d2h(ptr, nbytes, transfer=cfg))
+        np.testing.assert_array_equal(np.asarray(out).view(np.uint8).reshape(-1),
+                                      data)
+        sess.call(ac.mem_free(ptr))
+
+    @given(nbytes=st.integers(1, 100_000), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_naive_equals_pipeline_data(self, rig, nbytes, seed):
+        cluster, sess, ac = rig
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, nbytes).astype(np.uint8)
+        ptr = sess.call(ac.mem_alloc(nbytes))
+        sess.call(ac.memcpy_h2d(ptr, data, transfer=NAIVE_TRANSFER))
+        out_naive = sess.call(ac.memcpy_d2h(ptr, nbytes, transfer=NAIVE_TRANSFER))
+        out_pipe = sess.call(ac.memcpy_d2h(ptr, nbytes, transfer=pipeline(4096)))
+        np.testing.assert_array_equal(np.asarray(out_naive),
+                                      np.asarray(out_pipe))
+        sess.call(ac.mem_free(ptr))
+
+    @given(off=st.integers(0, 500), nbytes=st.integers(1, 500),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_offset_writes_compose(self, rig, off, nbytes, seed):
+        cluster, sess, ac = rig
+        rng = np.random.default_rng(seed)
+        total = 1200
+        base = rng.integers(0, 256, total).astype(np.uint8)
+        patch = rng.integers(0, 256, nbytes).astype(np.uint8)
+        ptr = sess.call(ac.mem_alloc(total))
+        sess.call(ac.memcpy_h2d(ptr, base))
+        sess.call(ac.memcpy_h2d(ptr, patch, offset=off))
+        out = np.asarray(sess.call(ac.memcpy_d2h(ptr, total))).view(np.uint8)
+        expected = base.copy()
+        expected[off:off + nbytes] = patch
+        np.testing.assert_array_equal(out.reshape(-1), expected)
+        sess.call(ac.mem_free(ptr))

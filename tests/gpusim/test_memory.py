@@ -1,0 +1,219 @@
+"""Device-memory allocator tests, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceMemoryError
+from repro.gpusim import DeviceMemory
+
+
+class TestMallocFree:
+    def test_simple_alloc(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(100)
+        assert mem.used_bytes == 100
+        assert mem.n_allocations == 1
+        mem.free(a)
+        assert mem.used_bytes == 0
+
+    def test_sequential_allocs_do_not_overlap(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(100)
+        b = mem.malloc(200)
+        c = mem.malloc(300)
+        spans = sorted([(a, 100), (b, 200), (c, 300)])
+        for (s1, n1), (s2, _) in zip(spans, spans[1:]):
+            assert s1 + n1 <= s2
+
+    def test_exhaustion_raises(self):
+        mem = DeviceMemory(1000)
+        mem.malloc(800)
+        with pytest.raises(DeviceMemoryError, match="out of device memory"):
+            mem.malloc(300)
+
+    def test_free_reuses_space(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(600)
+        mem.free(a)
+        b = mem.malloc(900)  # only fits if the space came back
+        assert b == 0
+
+    def test_coalescing_after_out_of_order_frees(self):
+        mem = DeviceMemory(1000)
+        ptrs = [mem.malloc(250) for _ in range(4)]
+        for p in (ptrs[1], ptrs[3], ptrs[0], ptrs[2]):
+            mem.free(p)
+        assert mem.largest_free_block() == 1000
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(100)
+        a = mem.malloc(50)
+        mem.free(a)
+        with pytest.raises(DeviceMemoryError):
+            mem.free(a)
+
+    def test_free_bogus_address_raises(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(DeviceMemoryError):
+            mem.free(12345)
+
+    def test_zero_size_rejected(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(DeviceMemoryError):
+            mem.malloc(0)
+
+    def test_fragmentation_blocks_large_alloc(self):
+        mem = DeviceMemory(1000)
+        ptrs = [mem.malloc(100) for _ in range(10)]
+        for p in ptrs[::2]:  # free alternating blocks: 5 holes of 100
+            mem.free(p)
+        assert mem.used_bytes == 500
+        with pytest.raises(DeviceMemoryError):
+            mem.malloc(200)  # no hole is big enough despite 500 free
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(100)
+        mem.write(a, 0, b"\x01\x02\x03")
+        out = mem.read(a, 0, 3)
+        assert bytes(out) == b"\x01\x02\x03"
+
+    def test_write_at_offset(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(10)
+        mem.write(a, 4, b"\xff\xff")
+        out = mem.read(a)
+        assert bytes(out) == b"\x00" * 4 + b"\xff\xff" + b"\x00" * 4
+
+    def test_write_overflow_rejected(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(10)
+        with pytest.raises(DeviceMemoryError):
+            mem.write(a, 8, b"\x00\x00\x00")
+
+    def test_read_overflow_rejected(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(10)
+        with pytest.raises(DeviceMemoryError):
+            mem.read(a, 5, 10)
+
+    def test_array_roundtrip_preserves_dtype_shape(self):
+        mem = DeviceMemory(10_000)
+        a = mem.malloc(800)
+        arr = np.arange(100, dtype=np.float64).reshape(10, 10)
+        mem.write_array(a, arr)
+        out = mem.read_array(a)
+        assert out.dtype == np.float64
+        assert out.shape == (10, 10)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_view_is_mutable_zero_copy(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(80)
+        mem.write_array(a, np.zeros(10))
+        v = mem.view(a)
+        v[3] = 7.0
+        assert mem.read_array(a)[3] == 7.0
+
+    def test_view_without_meta_raises(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(80)
+        with pytest.raises(DeviceMemoryError, match="no recorded dtype"):
+            mem.view(a)
+
+    def test_set_array_meta_enables_view(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(80)
+        mem.set_array_meta(a, "float64", (10,))
+        v = mem.view(a)
+        assert v.shape == (10,)
+        np.testing.assert_array_equal(v, np.zeros(10))
+
+    def test_oversized_array_rejected(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(8)
+        with pytest.raises(DeviceMemoryError):
+            mem.write_array(a, np.zeros(10))
+
+    def test_oversized_meta_rejected(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(8)
+        with pytest.raises(DeviceMemoryError):
+            mem.set_array_meta(a, "float64", (10,))
+
+    def test_block_writes_assemble_full_payload(self):
+        # The pipeline protocol writes sequential blocks at offsets.
+        mem = DeviceMemory(10_000)
+        a = mem.malloc(1000)
+        payload = np.random.default_rng(0).integers(0, 256, 1000).astype(np.uint8)
+        for off in range(0, 1000, 128):
+            chunk = payload[off:off + 128]
+            mem.write(a, off, chunk)
+        np.testing.assert_array_equal(mem.read(a), payload)
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A sequence of (op, size) operations for the allocator."""
+    n = draw(st.integers(1, 40))
+    ops = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            ops.append(("malloc", draw(st.integers(1, 300))))
+        else:
+            ops.append(("free", draw(st.integers(0, 10))))
+    return ops
+
+
+class TestAllocatorProperties:
+    @given(alloc_scripts())
+    @settings(max_examples=200, deadline=None)
+    def test_no_overlap_and_conservation(self, script):
+        mem = DeviceMemory(2048)
+        live: dict[int, int] = {}
+        for op, arg in script:
+            if op == "malloc":
+                try:
+                    addr = mem.malloc(arg)
+                except DeviceMemoryError:
+                    continue
+                assert addr not in live
+                live[addr] = arg
+            else:
+                if not live:
+                    continue
+                addr = sorted(live)[arg % len(live)]
+                mem.free(addr)
+                del live[addr]
+            # Invariant: allocations within capacity and pairwise disjoint.
+            spans = sorted((a, s) for a, s in live.items())
+            for (a1, s1), (a2, _) in zip(spans, spans[1:]):
+                assert a1 + s1 <= a2
+            for a, s in spans:
+                assert 0 <= a and a + s <= mem.capacity
+            # Invariant: used byte accounting is exact.
+            assert mem.used_bytes == sum(live.values())
+        # Free everything: memory must coalesce back to one block.
+        for addr in list(live):
+            mem.free(addr)
+        assert mem.largest_free_block() == mem.capacity
+
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_data_survives_neighbour_churn(self, sizes):
+        mem = DeviceMemory(64 * 64)
+        keeper = mem.malloc(64)
+        marker = np.arange(64, dtype=np.uint8)
+        mem.write(keeper, 0, marker)
+        ptrs = []
+        for s in sizes:
+            try:
+                ptrs.append(mem.malloc(s))
+            except DeviceMemoryError:
+                break
+        for p in ptrs:
+            mem.free(p)
+        np.testing.assert_array_equal(mem.read(keeper), marker)

@@ -1,0 +1,96 @@
+"""Tests for CUDA-style streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GPUError
+from repro.gpusim import GPUDevice, Stream, TESLA_C1060
+from repro.sim import Engine
+from repro.units import MiB
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def dev(eng):
+    return GPUDevice(eng, TESLA_C1060)
+
+
+GEMM = {"A": 0, "B": 0, "C": 0, "m": 512, "n": 512, "k": 512}
+
+
+class TestStreamOrdering:
+    def test_ops_execute_in_submission_order(self, eng, dev):
+        s = Stream(dev)
+        n = 64
+        x = dev.memory.malloc(8 * n)
+        dev.memory.write_array(x, np.ones(n))
+        # scale by 2 then add 1*itself -> 4: order matters.
+        s.launch("dscal", {"x": x, "n": n, "alpha": 2.0})
+        s.launch("daxpy", {"x": x, "y": x, "n": n, "alpha": 1.0})
+        eng.run(until=s.synchronize())
+        np.testing.assert_allclose(dev.memory.read_array(x), np.full(n, 4.0))
+
+    def test_synchronize_empty_stream(self, eng, dev):
+        s = Stream(dev)
+        ev = s.synchronize()
+        eng.run()
+        assert ev.triggered
+
+    def test_copy_then_kernel_serializes_within_stream(self, eng, dev):
+        s = Stream(dev)
+        s.copy(16 * MiB)
+        s.launch("dgemm", GEMM, real=False)
+        eng.run(until=s.synchronize())
+        t_serial = eng.now
+        # Lower bound: sum of the two op durations.
+        t_copy = TESLA_C1060.pcie.copy_time(16 * MiB)
+        assert t_serial >= t_copy
+
+    def test_two_streams_overlap_copy_and_compute(self, eng, dev):
+        s1 = Stream(dev)
+        s2 = Stream(dev)
+        # Stream 1: long DMA; stream 2: long kernel.  They overlap because
+        # the copy and compute engines are independent.
+        s1.copy(32 * MiB)
+        s2.launch("dgemm", GEMM, real=False)
+        done = eng.all_of([s1.synchronize(), s2.synchronize()])
+        eng.run(until=done)
+        overlapped = eng.now
+
+        eng2 = Engine()
+        dev2 = GPUDevice(eng2, TESLA_C1060)
+        s = Stream(dev2)
+        s.copy(32 * MiB)
+        s.launch("dgemm", GEMM, real=False)
+        eng2.run(until=s.synchronize())
+        serial = eng2.now
+        assert overlapped < serial * 0.95
+
+    def test_kernels_in_different_streams_still_serialize(self, eng, dev):
+        # One compute engine: two kernels cannot overlap.
+        s1, s2 = Stream(dev), Stream(dev)
+        s1.launch("dgemm", GEMM, real=False)
+        s2.launch("dgemm", GEMM, real=False)
+        eng.run(until=eng.all_of([s1.synchronize(), s2.synchronize()]))
+        t_two = eng.now
+        eng2 = Engine()
+        dev2 = GPUDevice(eng2, TESLA_C1060)
+        s = Stream(dev2)
+        s.launch("dgemm", GEMM, real=False)
+        eng2.run(until=s.synchronize())
+        assert t_two == pytest.approx(2 * eng2.now, rel=0.01)
+
+    def test_negative_copy_rejected(self, dev):
+        with pytest.raises(GPUError):
+            Stream(dev).copy(-1)
+
+    def test_ops_counted(self, eng, dev):
+        s = Stream(dev)
+        s.copy(100)
+        s.copy(100)
+        s.launch("dgemm", GEMM, real=False)
+        assert s.ops_submitted == 3

@@ -1,0 +1,88 @@
+"""Tests for the kernel cost-model helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import TESLA_C1060, XEON_PHI_KNC
+from repro.gpusim.timing import (
+    gemm_flops,
+    gemm_time,
+    saturation,
+    streaming_time,
+    syrk_flops,
+    syrk_time,
+    trsm_flops,
+    trsm_time,
+)
+
+
+class TestSaturation:
+    def test_monotone_in_dim(self):
+        vals = [saturation(d) for d in (1, 8, 32, 128, 1024)]
+        assert vals == sorted(vals)
+
+    def test_bounded(self):
+        for d in (1, 16, 512, 10_000):
+            assert 0 < saturation(d) < 1
+
+    def test_half_point(self):
+        assert saturation(32.0, half_sat=32.0) == pytest.approx(0.5)
+
+    def test_degenerate_dim(self):
+        assert saturation(0) == pytest.approx(1e-3)
+
+
+class TestFlopCounts:
+    def test_gemm_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_syrk_half_of_gemm(self):
+        # syrk computes a triangle: ~half of the equivalent gemm.
+        assert syrk_flops(100, 50) == pytest.approx(
+            gemm_flops(100, 100, 50) / 2, rel=0.02)
+
+    def test_trsm_flops(self):
+        assert trsm_flops(10, 4) == 160
+
+
+class TestTimes:
+    @given(st.integers(1, 2048), st.integers(1, 2048), st.integers(1, 2048))
+    @settings(max_examples=100, deadline=None)
+    def test_gemm_time_positive_and_superlinear(self, m, n, k):
+        t1 = gemm_time(TESLA_C1060, m, n, k)
+        t2 = gemm_time(TESLA_C1060, 2 * m, n, k)
+        assert t1 > 0
+        assert t2 > t1
+
+    def test_large_gemm_near_advertised_efficiency(self):
+        n = 4096
+        t = gemm_time(TESLA_C1060, n, n, n)
+        achieved = gemm_flops(n, n, n) / t / 1e9
+        expected = TESLA_C1060.dp_gflops * TESLA_C1060.gemm_efficiency
+        assert achieved == pytest.approx(expected, rel=0.02)
+
+    def test_small_gemm_far_below_peak(self):
+        t = gemm_time(TESLA_C1060, 16, 16, 16)
+        achieved = gemm_flops(16, 16, 16) / t / 1e9
+        assert achieved < 0.4 * TESLA_C1060.dp_gflops
+
+    def test_mic_faster_than_c1060(self):
+        n = 2048
+        assert gemm_time(XEON_PHI_KNC, n, n, n) < gemm_time(TESLA_C1060, n, n, n)
+
+    def test_trsm_slower_per_flop_than_gemm(self):
+        n = 1024
+        gemm_rate = gemm_flops(n, 128, 128) / gemm_time(TESLA_C1060, n, 128, 128)
+        trsm_rate = trsm_flops(n, 128) / trsm_time(TESLA_C1060, n, 128)
+        assert trsm_rate < gemm_rate
+
+    def test_syrk_time_positive(self):
+        assert syrk_time(TESLA_C1060, 256, 128) > 0
+
+    def test_streaming_roofline(self):
+        # Memory-bound: time set by bytes.
+        t_mem = streaming_time(TESLA_C1060, nbytes=1e9, flops=1.0)
+        assert t_mem == pytest.approx(1e9 / TESLA_C1060.mem_bw_Bps)
+        # Compute-bound: time set by flops.
+        t_fl = streaming_time(TESLA_C1060, nbytes=8.0, flops=78e9)
+        assert t_fl == pytest.approx(1.0)

@@ -1,0 +1,39 @@
+"""Shared fixtures for mpisim tests: a small world on a simple fabric."""
+
+import pytest
+
+from repro.netsim import Fabric, LinkModel
+from repro.mpisim import World
+from repro.sim import Engine
+
+# Round numbers for hand-computable timings; rendezvous above 1000 B.
+MODEL = LinkModel(
+    name="test-net",
+    latency_s=0.001,
+    bandwidth_Bps=1_000_000.0,
+    injection_overhead_s=0.0001,
+    rendezvous_threshold=1000,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def world(eng):
+    fabric = Fabric(eng, MODEL)
+    for i in range(8):
+        fabric.add_endpoint(f"n{i}")
+    return World(eng, fabric)
+
+
+@pytest.fixture
+def comm2(world):
+    return world.create_comm(["n0", "n1"], name="pair")
+
+
+@pytest.fixture
+def comm4(world):
+    return world.create_comm([f"n{i}" for i in range(4)], name="quad")

@@ -1,0 +1,201 @@
+"""Tests for the collective operations at several communicator sizes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpisim import Phantom
+
+
+def run_spmd(eng, comm, body):
+    """Run ``body(rank_handle)`` as one process per rank; return results."""
+    procs = [eng.process(body(comm.rank(i))) for i in range(comm.size)]
+    results = []
+    for p in procs:
+        results.append(eng.run(until=p))
+    return results
+
+
+@pytest.fixture(params=[1, 2, 3, 4, 5, 8])
+def comm_n(request, world):
+    n = request.param
+    return world.create_comm([f"n{i}" for i in range(n)], name=f"c{n}")
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, eng, comm_n):
+        release_times = {}
+
+        def body(rank):
+            # Stagger arrival, then barrier: all must leave >= the slowest.
+            yield eng.timeout(float(rank.index))
+            yield from rank.barrier()
+            release_times[rank.index] = eng.now
+
+        run_spmd(eng, comm_n, body)
+        slowest_arrival = comm_n.size - 1.0
+        assert all(t >= slowest_arrival for t in release_times.values())
+
+    def test_repeated_barriers(self, eng, comm_n):
+        def body(rank):
+            for _ in range(3):
+                yield from rank.barrier()
+            return eng.now
+
+        results = run_spmd(eng, comm_n, body)
+        assert len(set(round(r, 12) for r in results)) <= 2  # all leave together-ish
+
+
+class TestBcast:
+    def test_bcast_from_root0(self, eng, comm_n):
+        def body(rank):
+            payload = "the news" if rank.index == 0 else None
+            out = yield from rank.bcast(payload, root=0)
+            return out
+
+        assert run_spmd(eng, comm_n, body) == ["the news"] * comm_n.size
+
+    def test_bcast_from_nonzero_root(self, eng, comm_n):
+        root = comm_n.size - 1
+
+        def body(rank):
+            payload = 42 if rank.index == root else None
+            out = yield from rank.bcast(payload, root=root)
+            return out
+
+        assert run_spmd(eng, comm_n, body) == [42] * comm_n.size
+
+    def test_bcast_array(self, eng, comm_n):
+        data = np.arange(50, dtype=np.float64)
+
+        def body(rank):
+            payload = data if rank.index == 0 else None
+            out = yield from rank.bcast(payload, root=0)
+            return out
+
+        for out in run_spmd(eng, comm_n, body):
+            np.testing.assert_array_equal(out, data)
+
+    def test_bad_root_rejected(self, eng, comm_n):
+        rank = comm_n.rank(0)
+        with pytest.raises(MPIError):
+            # Generator raises at first iteration.
+            next(iter(rank.bcast("x", root=99)))
+
+
+class TestReduce:
+    def test_reduce_sum_to_root(self, eng, comm_n):
+        def body(rank):
+            out = yield from rank.reduce(np.array([float(rank.index + 1)]))
+            return out
+
+        results = run_spmd(eng, comm_n, body)
+        expected = sum(range(1, comm_n.size + 1))
+        assert results[0] == pytest.approx(expected)
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_sum_everywhere(self, eng, comm_n):
+        def body(rank):
+            out = yield from rank.allreduce(np.array([2.0 ** rank.index]))
+            return float(out[0])
+
+        results = run_spmd(eng, comm_n, body)
+        expected = float(2 ** comm_n.size - 1)
+        assert results == [pytest.approx(expected)] * comm_n.size
+
+    def test_reduce_custom_op(self, eng, comm_n):
+        def body(rank):
+            out = yield from rank.reduce(np.array([float(rank.index)]), op=np.maximum)
+            return out
+
+        results = run_spmd(eng, comm_n, body)
+        assert results[0] == pytest.approx(comm_n.size - 1)
+
+    def test_reduce_phantom_propagates_size(self, eng, comm_n):
+        def body(rank):
+            out = yield from rank.reduce(Phantom(1024))
+            return out
+
+        results = run_spmd(eng, comm_n, body)
+        assert isinstance(results[0], Phantom)
+        assert results[0].nbytes == 1024
+
+
+class TestGatherScatter:
+    def test_gather(self, eng, comm_n):
+        def body(rank):
+            out = yield from rank.gather(rank.index * 10)
+            return out
+
+        results = run_spmd(eng, comm_n, body)
+        assert results[0] == [i * 10 for i in range(comm_n.size)]
+        assert all(r is None for r in results[1:])
+
+    def test_scatter(self, eng, comm_n):
+        values = [f"part{i}" for i in range(comm_n.size)]
+
+        def body(rank):
+            out = yield from rank.scatter(values if rank.index == 0 else None)
+            return out
+
+        assert run_spmd(eng, comm_n, body) == values
+
+    def test_scatter_wrong_count_rejected(self, eng, world):
+        comm = world.create_comm(["n0", "n1"])
+
+        def body(rank):
+            out = yield from rank.scatter(["only-one"] if rank.index == 0 else None)
+            return out
+
+        p0 = eng.process(body(comm.rank(0)))
+        eng.process(body(comm.rank(1)))
+        with pytest.raises(MPIError):
+            eng.run(until=p0)
+
+    def test_alltoall(self, eng, comm_n):
+        def body(rank):
+            values = [f"{rank.index}->{j}" for j in range(comm_n.size)]
+            out = yield from rank.alltoall(values)
+            return out
+
+        results = run_spmd(eng, comm_n, body)
+        for j, received in enumerate(results):
+            assert received == [f"{i}->{j}" for i in range(comm_n.size)]
+
+    def test_alltoall_wrong_count_rejected(self, eng, comm_n):
+        rank = comm_n.rank(0)
+        with pytest.raises(MPIError):
+            next(iter(rank.alltoall([1] * (comm_n.size + 1))))
+
+
+class TestCollectiveSequencing:
+    def test_back_to_back_collectives_do_not_cross_match(self, eng, comm_n):
+        # Two bcasts with different payloads: tag sequencing must keep them
+        # apart even though all messages share the communicator.
+        def body(rank):
+            a = yield from rank.bcast("A" if rank.index == 0 else None, root=0)
+            b = yield from rank.bcast("B" if rank.index == 0 else None, root=0)
+            return (a, b)
+
+        results = run_spmd(eng, comm_n, body)
+        assert results == [("A", "B")] * comm_n.size
+
+    def test_mixed_collectives_and_p2p(self, eng, world):
+        comm = world.create_comm(["n0", "n1", "n2"])
+
+        def body(rank):
+            total = yield from rank.allreduce(np.array([1.0]))
+            if rank.index == 0:
+                yield from rank.send(1, tag=77, payload="direct")
+                out = None
+            elif rank.index == 1:
+                msg = yield from rank.recv(source=0, tag=77)
+                out = msg.payload
+            else:
+                out = None
+            yield from rank.barrier()
+            return (float(total[0]), out)
+
+        results = run_spmd(eng, comm, body)
+        assert results[0] == (3.0, None)
+        assert results[1] == (3.0, "direct")

@@ -1,0 +1,295 @@
+"""Point-to-point messaging tests: eager, rendezvous, matching, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpisim import ANY_SOURCE, ANY_TAG, Phantom
+
+
+class TestBasicSendRecv:
+    def test_eager_payload_delivered(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            yield from r0.send(1, tag=7, payload=b"hello")
+
+        def receiver():
+            msg = yield from r1.recv()
+            return (msg.source, msg.tag, msg.payload)
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        assert eng.run(until=p) == (0, 7, b"hello")
+
+    def test_rendezvous_payload_delivered(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        data = np.arange(1000, dtype=np.float64)  # 8000 B > threshold
+
+        def sender():
+            yield from r0.send(1, tag=1, payload=data)
+
+        def receiver():
+            msg = yield from r1.recv(source=0, tag=1)
+            return msg
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        msg = eng.run(until=p)
+        np.testing.assert_array_equal(msg.payload, data)
+        assert msg.nbytes == 8000
+
+    def test_numpy_payload_copied_on_send(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        data = np.zeros(10)
+
+        def sender():
+            req = r0.isend(1, tag=0, payload=data)
+            data[:] = 99.0  # mutate after isend: receiver must not see this
+            yield req.done
+
+        def receiver():
+            msg = yield from r1.recv()
+            return msg.payload
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        np.testing.assert_array_equal(eng.run(until=p), np.zeros(10))
+
+    def test_phantom_payload_times_but_carries_no_data(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        big = Phantom(64 * 1024 * 1024)
+
+        def sender():
+            yield from r0.send(1, tag=0, payload=big)
+
+        def receiver():
+            msg = yield from r1.recv()
+            return msg
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        msg = eng.run(until=p)
+        assert msg.payload == big
+        assert msg.nbytes == 64 * 1024 * 1024
+        assert eng.now > 60.0  # 64 MiB at 1 MB/s: over a minute of virtual time
+
+    def test_none_payload_is_zero_bytes(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            yield from r0.send(1, tag=3, payload=None)
+
+        def receiver():
+            msg = yield from r1.recv()
+            return msg
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        msg = eng.run(until=p)
+        assert msg.payload is None
+        assert msg.nbytes == 0
+
+    def test_self_send(self, eng, comm2):
+        r0 = comm2.rank(0)
+
+        def proc():
+            r0.isend(0, tag=5, payload=b"loop")
+            msg = yield from r0.recv(source=0, tag=5)
+            return msg.payload
+
+        p = eng.process(proc())
+        assert eng.run(until=p) == b"loop"
+
+
+class TestMatching:
+    def test_recv_by_specific_tag(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            yield from r0.send(1, tag=10, payload="ten")
+            yield from r0.send(1, tag=20, payload="twenty")
+
+        def receiver():
+            m20 = yield from r1.recv(tag=20)
+            m10 = yield from r1.recv(tag=10)
+            return (m20.payload, m10.payload)
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        assert eng.run(until=p) == ("twenty", "ten")
+
+    def test_recv_by_specific_source(self, eng, comm4):
+        ranks = [comm4.rank(i) for i in range(4)]
+
+        def sender(i):
+            yield from ranks[i].send(0, tag=1, payload=f"from{i}")
+
+        def receiver():
+            m3 = yield from ranks[0].recv(source=3, tag=1)
+            m1 = yield from ranks[0].recv(source=1, tag=1)
+            m2 = yield from ranks[0].recv(source=2, tag=1)
+            return (m3.payload, m1.payload, m2.payload)
+
+        for i in (1, 2, 3):
+            eng.process(sender(i))
+        p = eng.process(receiver())
+        assert eng.run(until=p) == ("from3", "from1", "from2")
+
+    def test_wildcard_recv_gets_earliest(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            yield from r0.send(1, tag=5, payload="first")
+            yield from r0.send(1, tag=6, payload="second")
+
+        def receiver():
+            yield from r1.recv(source=ANY_SOURCE, tag=ANY_TAG)  # drains "first"
+            m = yield from r1.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            return m.payload
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        assert eng.run(until=p) == "second"
+
+    def test_posted_recv_matched_by_later_arrival(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def receiver():
+            req = r1.irecv(source=0, tag=9)
+            msg = yield req.done
+            return (msg.payload, eng.now)
+
+        def sender():
+            yield eng.timeout(5.0)
+            yield from r0.send(1, tag=9, payload="late")
+
+        p = eng.process(receiver())
+        eng.process(sender())
+        payload, t = eng.run(until=p)
+        assert payload == "late"
+        assert t > 5.0
+
+    def test_fifo_same_source_tag(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            for i in range(10):
+                r0.isend(1, tag=1, payload=i)
+            if False:
+                yield
+
+        def receiver():
+            out = []
+            for _ in range(10):
+                msg = yield from r1.recv(source=0, tag=1)
+                out.append(msg.payload)
+            return out
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        assert eng.run(until=p) == list(range(10))
+
+    def test_small_message_does_not_overtake_large(self, eng, comm2):
+        # A large rendezvous message followed by a tiny eager one on the
+        # same (src, tag): matching order must be send order.
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        big = np.full(100_000, 1.0)
+
+        def sender():
+            r0.isend(1, tag=2, payload=big)
+            r0.isend(1, tag=2, payload=b"tiny")
+            if False:
+                yield
+
+        def receiver():
+            first = yield from r1.recv(source=0, tag=2)
+            second = yield from r1.recv(source=0, tag=2)
+            return (first.nbytes, second.payload)
+
+        eng.process(sender())
+        p = eng.process(receiver())
+        nbytes, tiny = eng.run(until=p)
+        assert nbytes == big.nbytes
+        assert tiny == b"tiny"
+
+
+class TestRequests:
+    def test_isend_eager_completes_before_delivery(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def sender():
+            req = r0.isend(1, tag=0, payload=b"x" * 100)
+            yield req.done
+            return eng.now
+
+        def receiver():
+            msg = yield from r1.recv()
+            return eng.now
+
+        ps = eng.process(sender())
+        pr = eng.process(receiver())
+        t_send = eng.run(until=ps)
+        eng.run(until=pr)
+        t_recv = eng.now
+        assert t_send < t_recv  # local completion at injection
+
+    def test_rendezvous_send_blocks_until_receiver_posts(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        data = np.zeros(10_000)
+
+        def sender():
+            yield from r0.send(1, tag=0, payload=data)
+            return eng.now
+
+        def receiver():
+            yield eng.timeout(10.0)  # post the receive late
+            yield from r1.recv()
+
+        ps = eng.process(sender())
+        eng.process(receiver())
+        t_send_done = eng.run(until=ps)
+        assert t_send_done > 10.0  # sender stalled on the handshake
+
+    def test_sendrecv_exchanges(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+
+        def proc(rank, me):
+            other = 1 - me
+            msg = yield from rank.sendrecv(other, send_tag=1, payload=f"hi from {me}",
+                                           source=other, recv_tag=1)
+            return msg.payload
+
+        p0 = eng.process(proc(r0, 0))
+        p1 = eng.process(proc(r1, 1))
+        assert eng.run(until=p0) == "hi from 1"
+        assert eng.run(until=p1) == "hi from 0"
+
+    def test_completed_flag(self, eng, comm2):
+        r0, r1 = comm2.rank(0), comm2.rank(1)
+        req = r1.irecv(source=0, tag=0)
+        assert not req.completed
+
+        def sender():
+            yield from r0.send(1, tag=0, payload=b"z")
+
+        eng.process(sender())
+        eng.run()
+        assert req.completed
+        assert req.message.payload == b"z"
+
+
+class TestValidation:
+    def test_bad_rank_rejected(self, comm2):
+        with pytest.raises(MPIError):
+            comm2.rank(5)
+        with pytest.raises(MPIError):
+            comm2.isend(0, 9, tag=0)
+
+    def test_negative_tag_rejected(self, comm2):
+        with pytest.raises(MPIError):
+            comm2.rank(0).isend(1, tag=-3)
+
+    def test_empty_comm_rejected(self, world):
+        with pytest.raises(MPIError):
+            world.create_comm([])

@@ -1,0 +1,142 @@
+"""Unit tests for the switched fabric."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import Fabric, IB_QDR_MPI, LinkModel
+from repro.sim import Engine
+from repro.units import MiB
+
+# A round-number model so expected times are easy to compute by hand.
+SIMPLE = LinkModel(
+    name="simple",
+    latency_s=0.001,
+    bandwidth_Bps=1000.0,
+    injection_overhead_s=0.0005,
+    rendezvous_threshold=0,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def fabric(eng):
+    f = Fabric(eng, SIMPLE)
+    f.add_endpoint("a")
+    f.add_endpoint("b")
+    f.add_endpoint("c")
+    return f
+
+
+class TestFabricBasics:
+    def test_uncontended_transfer_time(self, eng, fabric):
+        tx = fabric.transfer("a", "b", 1000)
+        eng.run(until=tx.delivered)
+        # injection 0.0005 + wire 1.0 + latency 0.001
+        assert eng.now == pytest.approx(1.0015)
+
+    def test_injected_fires_before_delivered(self, eng, fabric):
+        tx = fabric.transfer("a", "b", 1000)
+        eng.run(until=tx.injected)
+        t_inj = eng.now
+        eng.run(until=tx.delivered)
+        assert t_inj == pytest.approx(0.0005)
+        assert eng.now > t_inj
+
+    def test_zero_byte_message_costs_overheads_only(self, eng, fabric):
+        tx = fabric.transfer("a", "b", 0)
+        eng.run(until=tx.delivered)
+        assert eng.now == pytest.approx(0.0015)
+
+    def test_loopback_has_no_latency(self, eng, fabric):
+        tx = fabric.transfer("a", "a", 1000)
+        eng.run(until=tx.delivered)
+        assert eng.now == pytest.approx(0.0005 + 1.0)
+
+    def test_duplicate_endpoint_rejected(self, eng, fabric):
+        with pytest.raises(NetworkError):
+            fabric.add_endpoint("a")
+
+    def test_unknown_endpoint_rejected(self, fabric):
+        with pytest.raises(NetworkError):
+            fabric.transfer("a", "zzz", 10)
+
+    def test_negative_size_rejected(self, fabric):
+        with pytest.raises(NetworkError):
+            fabric.transfer("a", "b", -1)
+
+    def test_foreign_endpoint_rejected(self, eng, fabric):
+        other = Fabric(eng, SIMPLE)
+        ep = other.add_endpoint("x")
+        with pytest.raises(NetworkError):
+            fabric.transfer(fabric.endpoint("a"), ep, 10)
+
+    def test_accounting(self, eng, fabric):
+        t1 = fabric.transfer("a", "b", 500)
+        t2 = fabric.transfer("b", "c", 300)
+        eng.run()
+        assert fabric.bytes_moved == 800
+        assert fabric.messages_sent == 2
+        assert t1.delivered.processed and t2.delivered.processed
+
+
+class TestFabricContention:
+    def test_two_senders_one_receiver_share_rx(self, eng, fabric):
+        # Both flows of 1000 B converge on c's RX share (1000 B/s):
+        # each runs at ~500 B/s -> ~2s wire time.
+        t1 = fabric.transfer("a", "c", 1000)
+        t2 = fabric.transfer("b", "c", 1000)
+        eng.run()
+        done1 = t1.delivered
+        done2 = t2.delivered
+        assert done1.processed and done2.processed
+        assert eng.now == pytest.approx(2.0 + 0.0005 + 0.001, rel=0.01)
+
+    def test_one_sender_two_receivers_serialize_at_nic(self, eng, fabric):
+        t1 = fabric.transfer("a", "b", 1000)
+        t2 = fabric.transfer("a", "c", 1000)
+        eng.run(until=t1.delivered)
+        # First message drains at full rate.
+        assert eng.now == pytest.approx(1.0015, rel=0.01)
+        eng.run()
+        assert t2.delivered.processed
+        # Second queued behind the first at a's NIC.
+        assert eng.now == pytest.approx(2.0 + 2 * 0.0005 + 0.001, rel=0.01)
+
+    def test_disjoint_pairs_do_not_interfere(self, eng):
+        f = Fabric(eng, SIMPLE)
+        for n in "abcd":
+            f.add_endpoint(n)
+        t1 = f.transfer("a", "b", 1000)
+        t2 = f.transfer("c", "d", 1000)
+        eng.run()
+        assert t1.delivered.processed and t2.delivered.processed
+        # Full crossbar: both complete in single-flow time.
+        assert eng.now == pytest.approx(1.0015, rel=0.01)
+
+    def test_duplex_directions_independent(self, eng, fabric):
+        t1 = fabric.transfer("a", "b", 1000)
+        t2 = fabric.transfer("b", "a", 1000)
+        eng.run()
+        assert t1.delivered.processed and t2.delivered.processed
+        assert eng.now == pytest.approx(1.0015, rel=0.01)
+
+    def test_nic_injection_serialized(self, eng, fabric):
+        # 100 zero-byte messages from the same NIC: injections serialize.
+        txs = [fabric.transfer("a", "b", 0) for _ in range(100)]
+        eng.run()
+        assert all(t.delivered.processed for t in txs)
+        assert eng.now == pytest.approx(100 * 0.0005 + 0.001, rel=0.01)
+
+
+class TestFabricRealistic:
+    def test_ib_qdr_64mib_matches_model(self, eng):
+        f = Fabric(eng, IB_QDR_MPI)
+        f.add_endpoint("cn0")
+        f.add_endpoint("ac0")
+        tx = f.transfer("cn0", "ac0", 64 * MiB)
+        eng.run(until=tx.delivered)
+        assert eng.now == pytest.approx(IB_QDR_MPI.message_time(64 * MiB), rel=1e-6)

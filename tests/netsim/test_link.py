@@ -1,0 +1,52 @@
+"""Tests for the standalone point-to-point Link."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import Link, LinkModel
+from repro.sim import Engine
+
+MODEL = LinkModel("plink", latency_s=0.001, bandwidth_Bps=1000.0,
+                  injection_overhead_s=0.0005, rendezvous_threshold=0)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def link(eng):
+    return Link(eng, MODEL)
+
+
+class TestLink:
+    def test_transfer_time(self, eng, link):
+        done = link.transfer("ab", 1000)
+        eng.run(until=done)
+        assert eng.now == pytest.approx(0.0005 + 1.0 + 0.001)
+
+    def test_directions_independent(self, eng, link):
+        d1 = link.transfer("ab", 1000)
+        d2 = link.transfer("ba", 1000)
+        eng.run(until=eng.all_of([d1, d2]))
+        assert eng.now == pytest.approx(1.0015, rel=0.01)
+
+    def test_same_direction_shares(self, eng, link):
+        d1 = link.transfer("ab", 1000)
+        d2 = link.transfer("ab", 1000)
+        eng.run(until=eng.all_of([d1, d2]))
+        assert eng.now == pytest.approx(2.0015, rel=0.01)
+
+    def test_zero_bytes(self, eng, link):
+        done = link.transfer("ab", 0)
+        eng.run(until=done)
+        assert eng.now == pytest.approx(0.0015)
+
+    def test_bad_direction(self, link):
+        with pytest.raises(NetworkError, match="direction"):
+            link.transfer("sideways", 10)
+
+    def test_negative_size(self, link):
+        with pytest.raises(NetworkError):
+            link.transfer("ab", -5)

@@ -1,0 +1,57 @@
+"""Unit tests for network link models."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import IB_QDR_MPI, TCP_IPOIB, LinkModel, preset
+from repro.units import KiB, MiB, mib_per_s
+
+
+class TestLinkModel:
+    def test_wire_time_is_linear(self):
+        m = IB_QDR_MPI
+        assert m.wire_time(2 * MiB) == pytest.approx(2 * m.wire_time(MiB))
+
+    def test_message_time_includes_overheads(self):
+        m = IB_QDR_MPI
+        assert m.message_time(0) == pytest.approx(m.latency_s + m.injection_overhead_s)
+
+    def test_effective_bandwidth_ramps_with_size(self):
+        m = IB_QDR_MPI
+        bws = [m.effective_bandwidth(n) for n in (KiB, 64 * KiB, MiB, 64 * MiB)]
+        assert bws == sorted(bws)
+
+    def test_peak_bandwidth_approached_at_64mib(self):
+        # The paper reports ~2660 MiB/s for a 64 MiB PingPong message.
+        bw = mib_per_s(IB_QDR_MPI.effective_bandwidth(64 * MiB))
+        assert 2600 < bw <= 2660
+
+    def test_small_message_dominated_by_latency(self):
+        m = IB_QDR_MPI
+        t = m.message_time(1)
+        assert t == pytest.approx(m.latency_s + m.injection_overhead_s, rel=0.1)
+
+    def test_tcp_slower_than_ib_everywhere(self):
+        for n in (KiB, 64 * KiB, MiB, 16 * MiB):
+            assert TCP_IPOIB.effective_bandwidth(n) < IB_QDR_MPI.effective_bandwidth(n)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(NetworkError):
+            IB_QDR_MPI.wire_time(-1)
+        with pytest.raises(NetworkError):
+            IB_QDR_MPI.effective_bandwidth(0)
+
+    def test_validation_on_construction(self):
+        with pytest.raises(NetworkError):
+            LinkModel("bad", -1.0, 1.0, 0.0, 0)
+        with pytest.raises(NetworkError):
+            LinkModel("bad", 0.0, 0.0, 0.0, 0)
+        with pytest.raises(NetworkError):
+            LinkModel("bad", 0.0, 1.0, -1.0, 0)
+        with pytest.raises(NetworkError):
+            LinkModel("bad", 0.0, 1.0, 0.0, -5)
+
+    def test_preset_lookup(self):
+        assert preset("ib-qdr-mpi") is IB_QDR_MPI
+        with pytest.raises(NetworkError, match="unknown link model"):
+            preset("carrier-pigeon")

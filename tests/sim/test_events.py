@@ -1,0 +1,179 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestEvent:
+    def test_starts_pending(self, eng):
+        ev = eng.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, eng):
+        ev = eng.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, eng):
+        ev = eng.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_raises(self, eng):
+        ev = eng.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, eng):
+        ev = eng.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_fail_carries_exception(self, eng):
+        ev = eng.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_callbacks_run_on_processing(self, eng):
+        ev = eng.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        assert seen == []  # not yet processed
+        eng.run()
+        assert seen == ["hello"]
+
+    def test_late_callback_runs_immediately(self, eng):
+        ev = eng.event().succeed(7)
+        eng.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_cancel_prevents_processing(self, eng):
+        ev = eng.timeout(1.0)
+        seen = []
+        ev.add_callback(lambda e: seen.append(1))
+        ev.cancel()
+        eng.run()
+        assert seen == []
+        assert eng.now == 0.0  # cancelled timer does not advance the clock
+
+    def test_cancel_processed_event_raises(self, eng):
+        ev = eng.event().succeed(None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            ev.cancel()
+
+    def test_trigger_cancelled_event_raises(self, eng):
+        ev = eng.event()
+        ev.cancel()
+        with pytest.raises(SimulationError):
+            ev.succeed(None)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, eng):
+        times = []
+        ev = eng.timeout(2.5)
+        ev.add_callback(lambda e: times.append(eng.now))
+        eng.run()
+        assert times == [2.5]
+
+    def test_carries_value(self, eng):
+        ev = eng.timeout(1.0, value="tick")
+        eng.run()
+        assert ev.value == "tick"
+
+    def test_negative_delay_raises(self, eng):
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+    def test_zero_delay_fires_now(self, eng):
+        ev = eng.timeout(0.0)
+        eng.run()
+        assert ev.processed
+        assert eng.now == 0.0
+
+    def test_manual_trigger_forbidden(self, eng):
+        ev = eng.timeout(1.0)
+        with pytest.raises(SimulationError):
+            ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError())
+
+    def test_ordering_among_timeouts(self, eng):
+        order = []
+        for delay, label in [(3.0, "c"), (1.0, "a"), (2.0, "b")]:
+            eng.timeout(delay, label).add_callback(lambda e: order.append(e.value))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_time(self, eng):
+        order = []
+        for label in "abc":
+            eng.timeout(1.0, label).add_callback(lambda e: order.append(e.value))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, eng):
+        evs = [eng.timeout(1.0, "x"), eng.timeout(3.0, "y")]
+        cond = eng.all_of(evs)
+        fired_at = []
+        cond.add_callback(lambda e: fired_at.append(eng.now))
+        eng.run()
+        assert fired_at == [3.0]
+        assert cond.value == {evs[0]: "x", evs[1]: "y"}
+
+    def test_all_of_empty_succeeds_immediately(self, eng):
+        cond = eng.all_of([])
+        eng.run()
+        assert cond.processed
+        assert cond.value == {}
+
+    def test_any_of_fires_on_first(self, eng):
+        evs = [eng.timeout(5.0, "slow"), eng.timeout(1.0, "fast")]
+        cond = eng.any_of(evs)
+        fired_at = []
+        cond.add_callback(lambda e: fired_at.append(eng.now))
+        eng.run()
+        assert fired_at == [1.0]
+        assert evs[1] in cond.value
+
+    def test_any_of_empty_raises(self, eng):
+        with pytest.raises(SimulationError):
+            eng.any_of([])
+
+    def test_all_of_propagates_failure(self, eng):
+        good = eng.timeout(1.0)
+        bad = eng.event()
+        cond = eng.all_of([good, bad])
+        bad.fail(ValueError("child failed"))
+        eng.run()
+        assert cond.triggered
+        assert not cond.ok
+        assert isinstance(cond.value, ValueError)
+
+    def test_mixed_engines_rejected(self, eng):
+        other = Engine()
+        with pytest.raises(SimulationError):
+            eng.all_of([eng.event(), other.event()])

@@ -1,0 +1,126 @@
+"""Property-based tests for the simulation kernel."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import BandwidthShare, Engine
+
+
+class TestClockProperties:
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1,
+                    max_size=100))
+    @settings(max_examples=200, deadline=None)
+    def test_timeouts_process_in_sorted_order(self, delays):
+        eng = Engine()
+        seen = []
+        for d in delays:
+            eng.timeout(d, value=d).add_callback(lambda e: seen.append(e.value))
+        eng.run()
+        assert seen == sorted(delays)
+        assert eng.now == max(delays)
+
+    @given(st.lists(st.tuples(st.floats(0.0, 100.0, allow_nan=False),
+                              st.floats(0.0, 100.0, allow_nan=False)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_nested_process_clock_monotone(self, pairs):
+        eng = Engine()
+        stamps = []
+
+        def proc(a, b):
+            yield eng.timeout(a)
+            stamps.append(eng.now)
+            yield eng.timeout(b)
+            stamps.append(eng.now)
+
+        for a, b in pairs:
+            eng.process(proc(a, b))
+        eng.run()
+        assert stamps == sorted(stamps)
+        assert len(stamps) == 2 * len(pairs)
+
+    @given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_interleaved_producers_consumers_conserve_items(self, n, seed):
+        import random
+        rng = random.Random(seed)
+        from repro.sim import Store
+        eng = Engine()
+        store = Store(eng)
+        produced, consumed = [], []
+
+        def producer(items):
+            for it in items:
+                yield eng.timeout(rng.random())
+                yield store.put(it)
+                produced.append(it)
+
+        def consumer(count):
+            for _ in range(count):
+                v = yield store.get()
+                consumed.append(v)
+
+        items = list(range(n))
+        eng.process(producer(items))
+        p = eng.process(consumer(n))
+        eng.run(until=p)
+        assert sorted(consumed) == items
+        assert consumed == produced  # FIFO
+
+
+class TestBandwidthShareProperties:
+    @given(st.lists(st.tuples(st.floats(0.0, 10.0, allow_nan=False),
+                              st.floats(1.0, 10_000.0, allow_nan=False)),
+                    min_size=1, max_size=20),
+           st.floats(10.0, 10_000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_all_flows_complete_and_capacity_respected(self, flows, capacity):
+        eng = Engine()
+        share = BandwidthShare(eng, capacity)
+        done_times = []
+        total_bytes = sum(nb for _, nb in flows)
+
+        def flow(start, nbytes):
+            if start > 0:
+                yield eng.timeout(start)
+            yield share.transfer(nbytes)
+            done_times.append(eng.now)
+
+        for start, nbytes in flows:
+            eng.process(flow(start, nbytes))
+        eng.run()
+        assert len(done_times) == len(flows)
+        # The pool can never move bytes faster than its capacity allows.
+        first_start = min(s for s, _ in flows)
+        makespan = max(done_times) - first_start
+        assert makespan * capacity >= total_bytes * (1 - 1e-6)
+
+    @given(st.lists(st.floats(1.0, 1000.0, allow_nan=False),
+                    min_size=2, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_simultaneous_flows_finish_in_size_order(self, sizes):
+        eng = Engine()
+        share = BandwidthShare(eng, 100.0)
+        finish = {}
+
+        def flow(i, nbytes):
+            yield share.transfer(nbytes)
+            finish[i] = eng.now
+
+        for i, nb in enumerate(sizes):
+            eng.process(flow(i, nb))
+        eng.run()
+        order = sorted(range(len(sizes)), key=lambda i: finish[i])
+        # Equal-share flows drain smallest-first.
+        for a, b in zip(order, order[1:]):
+            assert sizes[a] <= sizes[b] + 1e-6
+
+    def test_many_tiny_flows_terminate(self):
+        # Regression guard for the float-residue infinite-timer loop.
+        eng = Engine()
+        share = BandwidthShare(eng, 2660 * 1024 * 1024.0)
+        events = [share.transfer(524288 + 64) for _ in range(256)]
+        eng.run(until=eng.all_of(events))
+        assert eng.now > 0

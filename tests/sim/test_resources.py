@@ -1,0 +1,290 @@
+"""Unit tests for Store, Resource, and BandwidthShare."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BandwidthShare, Engine, Resource, Store
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestStore:
+    def test_put_then_get(self, eng):
+        store = Store(eng)
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer():
+            x = yield store.get()
+            y = yield store.get()
+            return (x, y)
+
+        eng.process(producer())
+        c = eng.process(consumer())
+        assert eng.run(until=c) == ("a", "b")
+
+    def test_get_blocks_until_put(self, eng):
+        store = Store(eng)
+        got_at = []
+
+        def consumer():
+            v = yield store.get()
+            got_at.append((eng.now, v))
+
+        def producer():
+            yield eng.timeout(2.0)
+            yield store.put("late")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert got_at == [(2.0, "late")]
+
+    def test_fifo_order_of_items(self, eng):
+        store = Store(eng)
+        out = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                v = yield store.get()
+                out.append(v)
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_fifo_order_of_getters(self, eng):
+        store = Store(eng)
+        served = []
+
+        def consumer(name):
+            v = yield store.get()
+            served.append((name, v))
+
+        eng.process(consumer("first"))
+        eng.process(consumer("second"))
+
+        def producer():
+            yield eng.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        eng.process(producer())
+        eng.run()
+        assert served == [("first", "x"), ("second", "y")]
+
+    def test_capacity_blocks_put(self, eng):
+        store = Store(eng, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("put-a", eng.now))
+            yield store.put("b")
+            timeline.append(("put-b", eng.now))
+
+        def consumer():
+            yield eng.timeout(5.0)
+            v = yield store.get()
+            timeline.append(("got", v, eng.now))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert ("put-a", 0.0) in timeline
+        assert ("put-b", 5.0) in timeline  # second put waited for the get
+
+    def test_bad_capacity_rejected(self, eng):
+        with pytest.raises(SimulationError):
+            Store(eng, capacity=0)
+
+    def test_len(self, eng):
+        store = Store(eng)
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+
+        p = eng.process(producer())
+        eng.run(until=p)
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_mutex_serializes(self, eng):
+        lock = Resource(eng, capacity=1)
+        timeline = []
+
+        def worker(name, hold):
+            yield lock.acquire()
+            timeline.append((name, "in", eng.now))
+            yield eng.timeout(hold)
+            timeline.append((name, "out", eng.now))
+            lock.release()
+
+        eng.process(worker("a", 2.0))
+        eng.process(worker("b", 3.0))
+        eng.run()
+        assert timeline == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 5.0),
+        ]
+
+    def test_capacity_two_allows_parallel(self, eng):
+        res = Resource(eng, capacity=2)
+        done_at = {}
+
+        def worker(name):
+            yield res.acquire()
+            yield eng.timeout(1.0)
+            res.release()
+            done_at[name] = eng.now
+
+        for n in "abc":
+            eng.process(worker(n))
+        eng.run()
+        assert done_at["a"] == 1.0
+        assert done_at["b"] == 1.0
+        assert done_at["c"] == 2.0
+
+    def test_release_without_acquire_raises(self, eng):
+        res = Resource(eng)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_available_accounting(self, eng):
+        res = Resource(eng, capacity=3)
+
+        def worker():
+            yield res.acquire()
+
+        p = eng.process(worker())
+        eng.run(until=p)
+        assert res.in_use == 1
+        assert res.available == 2
+
+    def test_bad_capacity_rejected(self, eng):
+        with pytest.raises(SimulationError):
+            Resource(eng, capacity=0)
+
+
+class TestBandwidthShare:
+    def test_single_flow_exact_time(self, eng):
+        link = BandwidthShare(eng, capacity_bytes_per_s=100.0)
+
+        def proc():
+            yield link.transfer(250.0)
+            return eng.now
+
+        p = eng.process(proc())
+        assert eng.run(until=p) == pytest.approx(2.5)
+
+    def test_zero_bytes_completes_immediately(self, eng):
+        link = BandwidthShare(eng, 100.0)
+
+        def proc():
+            yield link.transfer(0)
+            return eng.now
+
+        p = eng.process(proc())
+        assert eng.run(until=p) == 0.0
+
+    def test_two_equal_flows_share_fairly(self, eng):
+        link = BandwidthShare(eng, 100.0)
+        done = {}
+
+        def proc(name, nbytes):
+            yield link.transfer(nbytes)
+            done[name] = eng.now
+
+        eng.process(proc("a", 100.0))
+        eng.process(proc("b", 100.0))
+        eng.run()
+        # Both share 100 B/s -> each runs at 50 B/s -> both done at t=2.
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_short_flow_finishes_then_long_speeds_up(self, eng):
+        link = BandwidthShare(eng, 100.0)
+        done = {}
+
+        def proc(name, nbytes):
+            yield link.transfer(nbytes)
+            done[name] = eng.now
+
+        eng.process(proc("short", 50.0))
+        eng.process(proc("long", 150.0))
+        eng.run()
+        # Shared at 50 B/s until short finishes at t=1 (long has 100 left),
+        # then long runs at full 100 B/s -> finishes at t=2.
+        assert done["short"] == pytest.approx(1.0)
+        assert done["long"] == pytest.approx(2.0)
+
+    def test_late_joiner_slows_existing_flow(self, eng):
+        link = BandwidthShare(eng, 100.0)
+        done = {}
+
+        def first():
+            yield link.transfer(100.0)
+            done["first"] = eng.now
+
+        def second():
+            yield eng.timeout(0.5)
+            yield link.transfer(25.0)
+            done["second"] = eng.now
+
+        eng.process(first())
+        eng.process(second())
+        eng.run()
+        # first: 50 B alone (0.5s), then shares: needs 50 more at 50 B/s = 1s
+        # unless second finishes earlier: second needs 25 B at 50 B/s = 0.5s,
+        # done at t=1.0. Then first has 25 B left at 100 B/s -> t=1.25.
+        assert done["second"] == pytest.approx(1.0)
+        assert done["first"] == pytest.approx(1.25)
+
+    def test_weighted_flows(self, eng):
+        link = BandwidthShare(eng, 90.0)
+        done = {}
+
+        def proc(name, nbytes, w):
+            yield link.transfer(nbytes, weight=w)
+            done[name] = eng.now
+
+        eng.process(proc("heavy", 60.0, 2.0))
+        eng.process(proc("light", 30.0, 1.0))
+        eng.run()
+        # heavy gets 60 B/s, light 30 B/s: both finish at t=1.
+        assert done["heavy"] == pytest.approx(1.0)
+        assert done["light"] == pytest.approx(1.0)
+
+    def test_negative_size_rejected(self, eng):
+        link = BandwidthShare(eng, 10.0)
+        with pytest.raises(SimulationError):
+            link.transfer(-1)
+
+    def test_bad_capacity_rejected(self, eng):
+        with pytest.raises(SimulationError):
+            BandwidthShare(eng, 0.0)
+
+    def test_many_sequential_flows_total_time(self, eng):
+        link = BandwidthShare(eng, 1000.0)
+
+        def proc():
+            for _ in range(10):
+                yield link.transfer(500.0)
+            return eng.now
+
+        p = eng.process(proc())
+        assert eng.run(until=p) == pytest.approx(5.0)

@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Each example is executed in-process via runpy; assertions inside the
+examples themselves serve as the checks.  The MD example is trimmed by
+running only its fast validation entry points separately in the MP2C
+tests, so only the quick examples run here.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "result verified" in out
+        assert "pool has 3 free" in out
+
+    def test_dynamic_allocation(self, capsys):
+        out = run_example("dynamic_allocation.py", capsys)
+        assert "granted" in out
+        assert "pool utilization" in out
+
+    def test_fault_tolerance(self, capsys):
+        out = run_example("fault_tolerance.py", capsys)
+        assert "ARM assigned replacement" in out
+        assert "99/100" in out
+
+    @pytest.mark.slow
+    def test_multi_gpu_qr(self, capsys):
+        out = run_example("multi_gpu_qr.py", capsys)
+        assert "verified" in out
+        assert "paper: ~2.2x" in out

@@ -1,0 +1,93 @@
+"""Tests for unit helpers and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors, units
+
+
+class TestUnits:
+    def test_constants(self):
+        assert units.MiB == 1024 ** 2
+        assert units.GiB == 1024 ** 3
+        assert units.KiB == 1024
+
+    def test_bandwidth_conversions_inverse(self):
+        assert units.mib_per_s(units.bytes_per_s(2660.0)) == pytest.approx(2660.0)
+
+    def test_gflops(self):
+        assert units.gflops(2e9, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            units.gflops(1.0, 0.0)
+
+    def test_fmt_size(self):
+        assert units.fmt_size(64 * units.MiB) == "64 MiB"
+        assert units.fmt_size(128 * units.KiB) == "128 KiB"
+        assert units.fmt_size(17) == "17 B"
+        assert units.fmt_size(units.MiB + 1) == f"{units.MiB + 1} B"
+
+    def test_fmt_time_scales(self):
+        assert units.fmt_time(120.0) == "2.00 min"
+        assert units.fmt_time(2.5) == "2.500 s"
+        assert units.fmt_time(0.0035) == "3.500 ms"
+        assert units.fmt_time(2.2e-6) == "2.20 us"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SimulationError, errors.ReproError)
+        assert issubclass(errors.MPIError, errors.ReproError)
+        assert issubclass(errors.DeviceMemoryError, errors.GPUError)
+        assert issubclass(errors.ProtocolError, errors.MiddlewareError)
+        assert issubclass(errors.AcceleratorFault, errors.ReproError)
+
+    def test_interrupt_carries_cause(self):
+        exc = errors.ProcessInterrupt(cause={"reason": "fault"})
+        assert exc.cause == {"reason": "fault"}
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestTracer:
+    def test_log_and_query(self):
+        from repro.sim import Tracer
+        tr = Tracer()
+        tr.log(1.0, "net", "a->b", 100)
+        tr.log(2.0, "gpu", "gpu0", "k1")
+        tr.log(3.0, "net", "b->a", 50)
+        assert len(tr.by_category("net")) == 2
+        assert tr.by_actor("gpu0")[0].detail == "k1"
+        assert tr.counts() == {"net": 2, "gpu": 1}
+
+    def test_disabled_tracer_records_nothing(self):
+        from repro.sim import Tracer
+        tr = Tracer(enabled=False)
+        tr.log(1.0, "net", "x")
+        assert tr.records == []
+
+    def test_category_filter(self):
+        from repro.sim import Tracer
+        tr = Tracer(categories=["gpu"])
+        tr.log(1.0, "net", "x")
+        tr.log(1.0, "gpu", "y")
+        assert tr.counts() == {"gpu": 1}
+
+    def test_clear(self):
+        from repro.sim import Tracer
+        tr = Tracer()
+        tr.log(1.0, "a", "b")
+        tr.clear()
+        assert tr.records == []
+
+    def test_cluster_tracing_integration(self):
+        from repro.cluster import Cluster, paper_testbed
+        from repro.sim import Tracer
+        tracer = Tracer()
+        cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=1),
+                          tracer=tracer)
+        sess = cluster.session()
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0])
+        sess.call(ac.ping())
+        assert len(tracer.by_category("net.delivered")) >= 4

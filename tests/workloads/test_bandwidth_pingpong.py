@@ -1,0 +1,91 @@
+"""Tests for the bandwidthTest and IMB PingPong ports."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.netsim import IB_QDR_MPI
+from repro.units import KiB, MiB
+from repro.workloads.bandwidth import BandwidthPoint, paper_sizes, sweep
+from repro.workloads.pingpong import run_pingpong
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(paper_testbed(n_compute=2, n_accelerators=1))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    ac = cluster.remote(0, handles[0])
+    return cluster, sess, ac
+
+
+class TestPaperSizes:
+    def test_default_axis(self):
+        sizes = paper_sizes()
+        assert sizes[0] == KiB
+        assert sizes[-1] == 64 * MiB
+        assert all(b // a == 4 for a, b in zip(sizes, sizes[1:]))
+
+    def test_custom_step(self):
+        sizes = paper_sizes(step=16)
+        assert all(b // a == 16 for a, b in zip(sizes, sizes[1:]))
+
+
+class TestBandwidthSweep:
+    def test_points_monotone_bandwidth(self, rig):
+        cluster, sess, ac = rig
+        points = sess.call(sweep(cluster.engine, ac,
+                                 [64 * KiB, MiB, 16 * MiB], "h2d"))
+        bws = [p.mib_per_s for p in points]
+        assert bws == sorted(bws)
+
+    def test_d2h_direction(self, rig):
+        cluster, sess, ac = rig
+        points = sess.call(sweep(cluster.engine, ac, [MiB], "d2h"))
+        assert 0 < points[0].mib_per_s < 2660
+
+    def test_invalid_direction(self, rig):
+        cluster, sess, ac = rig
+        gen = sweep(cluster.engine, ac, [MiB], "sideways")
+        with pytest.raises(ValueError, match="direction"):
+            next(iter(gen))
+
+    def test_repeats_average(self, rig):
+        cluster, sess, ac = rig
+        p1 = sess.call(sweep(cluster.engine, ac, [MiB], "h2d", repeats=1))
+        p3 = sess.call(sweep(cluster.engine, ac, [MiB], "h2d", repeats=3))
+        # Deterministic simulation: the average equals a single run.
+        assert p1[0].mib_per_s == pytest.approx(p3[0].mib_per_s, rel=1e-6)
+
+    def test_memory_released(self, rig):
+        cluster, sess, ac = rig
+        sess.call(sweep(cluster.engine, ac, [MiB, 4 * MiB], "h2d"))
+        gpu = cluster.accelerator_for_handle(ac.handle).gpu
+        assert gpu.memory.used_bytes == 0
+
+    def test_point_properties(self):
+        p = BandwidthPoint(nbytes=MiB, seconds=0.001)
+        assert p.bytes_per_s == pytest.approx(MiB / 0.001)
+        assert p.mib_per_s == pytest.approx(1000.0)
+
+
+class TestPingPong:
+    def test_bandwidth_approaches_model_peak(self):
+        cluster = Cluster(paper_testbed(n_compute=2, n_accelerators=0))
+        points = run_pingpong(cluster.engine, cluster.comm, 0, 1,
+                              [64 * MiB])
+        measured = points[0].bytes_per_s
+        assert measured == pytest.approx(
+            IB_QDR_MPI.effective_bandwidth(64 * MiB), rel=0.05)
+
+    def test_curve_is_monotone(self):
+        cluster = Cluster(paper_testbed(n_compute=2, n_accelerators=0))
+        points = run_pingpong(cluster.engine, cluster.comm, 0, 1,
+                              [KiB, 64 * KiB, MiB, 16 * MiB])
+        bws = [p.mib_per_s for p in points]
+        assert bws == sorted(bws)
+
+    def test_small_message_latency_bound(self):
+        cluster = Cluster(paper_testbed(n_compute=2, n_accelerators=0))
+        points = run_pingpong(cluster.engine, cluster.comm, 0, 1, [1])
+        # Half RTT of a 1-byte message ~= latency + overheads, i.e. ~2 us.
+        assert 1e-6 < points[0].half_rtt < 5e-6

@@ -1,0 +1,79 @@
+"""Property-based tests: factorizations over random geometries.
+
+Random (n, nb, g, lookahead) combinations must all reproduce numpy's
+factorizations through the full middleware path — panel widths that don't
+divide n, more GPUs than panels, single-panel matrices, etc.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster, paper_testbed
+from repro.workloads.linalg import (
+    cholesky_factorize,
+    qr_factorize,
+    reconstruct_q,
+)
+
+
+def remote(g):
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=g))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=g))
+    acs = [cluster.remote(0, h) for h in handles]
+    return cluster, sess, acs
+
+
+class TestRandomGeometries:
+    @given(n=st.integers(8, 72), nb=st.integers(4, 40),
+           g=st.integers(1, 3), lookahead=st.booleans(),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_qr_reproduces_a(self, n, nb, g, lookahead, seed):
+        A = np.random.default_rng(seed).standard_normal((n, n))
+        cluster, sess, acs = remote(g)
+        res = sess.call(qr_factorize(cluster.engine,
+                                     cluster.compute_nodes[0].cpu,
+                                     acs, n, nb, A=A, lookahead=lookahead))
+        Q = reconstruct_q(n, res.reflectors)
+        np.testing.assert_allclose(Q @ res.R, A, atol=1e-7)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(n), atol=1e-8)
+        np.testing.assert_allclose(res.R, np.triu(res.R), atol=1e-11)
+
+    @given(n=st.integers(8, 72), nb=st.integers(4, 40),
+           g=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cholesky_reproduces_a(self, n, nb, g, seed):
+        M = np.random.default_rng(seed).standard_normal((n, n))
+        A = M @ M.T + n * np.eye(n)
+        cluster, sess, acs = remote(g)
+        res = sess.call(cholesky_factorize(cluster.engine,
+                                           cluster.compute_nodes[0].cpu,
+                                           acs, n, nb, A=A))
+        np.testing.assert_allclose(res.L @ res.L.T, A,
+                                   atol=1e-7 * n)
+        np.testing.assert_allclose(res.L, np.tril(res.L), atol=1e-11)
+
+    def test_more_gpus_than_panels(self):
+        # 1 panel, 3 GPUs: two GPUs stay idle but nothing breaks.
+        n, nb = 16, 32
+        A = np.random.default_rng(1).standard_normal((n, n))
+        cluster, sess, acs = remote(3)
+        res = sess.call(qr_factorize(cluster.engine,
+                                     cluster.compute_nodes[0].cpu,
+                                     acs, n, nb, A=A))
+        Q = reconstruct_q(n, res.reflectors)
+        np.testing.assert_allclose(Q @ res.R, A, atol=1e-9)
+
+    def test_nb_equal_n(self):
+        n = 24
+        M = np.random.default_rng(2).standard_normal((n, n))
+        A = M @ M.T + n * np.eye(n)
+        cluster, sess, acs = remote(2)
+        res = sess.call(cholesky_factorize(cluster.engine,
+                                           cluster.compute_nodes[0].cpu,
+                                           acs, n, nb=n, A=A))
+        np.testing.assert_allclose(res.L, np.linalg.cholesky(A), atol=1e-9)

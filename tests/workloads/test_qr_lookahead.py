@@ -1,0 +1,72 @@
+"""Tests for the QR lookahead optimization."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.workloads.linalg import qr_factorize, reconstruct_q
+
+
+def remote(g):
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=g))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=g))
+    acs = [cluster.remote(0, h) for h in handles]
+    return cluster, sess, acs
+
+
+class TestLookaheadCorrectness:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_same_factorization_as_plain(self, g):
+        n, nb = 96, 32
+        A = np.random.default_rng(g + 50).standard_normal((n, n))
+        c1, s1, a1 = remote(g)
+        plain = s1.call(qr_factorize(c1.engine, c1.compute_nodes[0].cpu,
+                                     a1, n, nb, A=A, lookahead=False))
+        c2, s2, a2 = remote(g)
+        la = s2.call(qr_factorize(c2.engine, c2.compute_nodes[0].cpu,
+                                  a2, n, nb, A=A, lookahead=True))
+        np.testing.assert_allclose(la.R, plain.R, atol=1e-10)
+        Q = reconstruct_q(n, la.reflectors)
+        np.testing.assert_allclose(Q @ la.R, A, atol=1e-8)
+
+    def test_non_divisible_n(self):
+        n, nb = 70, 32
+        A = np.random.default_rng(3).standard_normal((n, n))
+        cluster, sess, acs = remote(2)
+        res = sess.call(qr_factorize(cluster.engine,
+                                     cluster.compute_nodes[0].cpu,
+                                     acs, n, nb, A=A, lookahead=True))
+        Q = reconstruct_q(n, res.reflectors)
+        np.testing.assert_allclose(Q @ res.R, A, atol=1e-8)
+
+    def test_result_records_mode(self):
+        cluster, sess, acs = remote(1)
+        res = sess.call(qr_factorize(cluster.engine,
+                                     cluster.compute_nodes[0].cpu,
+                                     acs, 256, 128, lookahead=True))
+        assert res.lookahead
+
+
+class TestLookaheadPerformance:
+    def test_lookahead_faster_at_scale(self):
+        # Hiding the panel factorization + its round trip behind the
+        # trailing updates must shorten the critical path.
+        n = 4096
+        c1, s1, a1 = remote(2)
+        plain = s1.call(qr_factorize(c1.engine, c1.compute_nodes[0].cpu,
+                                     a1, n, 128, lookahead=False))
+        c2, s2, a2 = remote(2)
+        la = s2.call(qr_factorize(c2.engine, c2.compute_nodes[0].cpu,
+                                  a2, n, 128, lookahead=True))
+        assert la.seconds < plain.seconds * 0.97
+
+    def test_lookahead_never_slower_single_gpu(self):
+        n = 2048
+        c1, s1, a1 = remote(1)
+        plain = s1.call(qr_factorize(c1.engine, c1.compute_nodes[0].cpu,
+                                     a1, n, 128, lookahead=False))
+        c2, s2, a2 = remote(1)
+        la = s2.call(qr_factorize(c2.engine, c2.compute_nodes[0].cpu,
+                                  a2, n, 128, lookahead=True))
+        assert la.seconds <= plain.seconds * 1.01
