@@ -22,6 +22,7 @@ from ..core.api import RemoteAccelerator
 from ..core.blocksize import TransferConfig
 from ..core.daemon import Daemon
 from ..core.protocol import AcceleratorHandle
+from ..core.reliability import FailoverConfig, ResilientAccelerator, RetryPolicy
 from ..core.session import SyncSession
 from ..errors import ClusterConfigError
 from ..mpisim import World
@@ -80,17 +81,36 @@ class Cluster:
         """The MPI rank handle of compute node ``cn_index``."""
         return self.compute_nodes[cn_index].rank
 
-    def arm_client(self, cn_index: int) -> ArmClient:
+    def arm_client(self, cn_index: int,
+                   retry: RetryPolicy | None = None) -> ArmClient:
         """A resource-management API client for one compute node."""
-        return ArmClient(self.compute_rank(cn_index), self.arm_rank_index)
+        return ArmClient(self.compute_rank(cn_index), self.arm_rank_index,
+                         retry=retry)
 
     def remote(self, cn_index: int, handle: AcceleratorHandle,
-               transfer: TransferConfig | None = None) -> RemoteAccelerator:
+               transfer: TransferConfig | None = None,
+               retry: RetryPolicy | None = None) -> RemoteAccelerator:
         """A computation-API front-end for one assigned accelerator."""
         if transfer is None:
-            return RemoteAccelerator(self.compute_rank(cn_index), handle)
+            return RemoteAccelerator(self.compute_rank(cn_index), handle,
+                                     retry=retry)
         return RemoteAccelerator(self.compute_rank(cn_index), handle,
-                                 transfer=transfer)
+                                 transfer=transfer, retry=retry)
+
+    def resilient(self, cn_index: int, handle: AcceleratorHandle,
+                  config: FailoverConfig | None = None,
+                  transfer: TransferConfig | None = None,
+                  retry: RetryPolicy | None = None) -> ResilientAccelerator:
+        """A failover-capable front-end for one assigned accelerator.
+
+        Wraps :meth:`remote` with the robustness layer: per-request
+        deadlines/retries from ``retry`` and ARM-mediated failover per
+        ``config`` (see :class:`~repro.core.reliability.FailoverPolicy`).
+        """
+        return ResilientAccelerator(
+            self.arm_client(cn_index, retry=retry),
+            lambda h: self.remote(cn_index, h, transfer=transfer, retry=retry),
+            handle, config=config)
 
     def accelerator_for_handle(self, handle: AcceleratorHandle) -> AcceleratorNode:
         """The accelerator node behind a handle (for inspection in tests)."""

@@ -24,7 +24,10 @@ from .daemon import Daemon, DaemonStats
 from .faults import FaultInjector
 from .protocol import (
     AcceleratorHandle,
+    DEDUP_OPS,
+    IDEMPOTENT_OPS,
     Op,
+    RETRYABLE_OPS,
     Request,
     Response,
     Status,
@@ -33,6 +36,14 @@ from .protocol import (
     data_tag,
     next_request_id,
     reply_tag,
+)
+from .reliability import (
+    DEFAULT_RETRY,
+    FailoverConfig,
+    FailoverPolicy,
+    ResilientAccelerator,
+    RetryPolicy,
+    reliable_rpc,
 )
 from .session import SyncSession
 from .transfer import assemble_chunks, payload_meta, slice_chunks
@@ -52,6 +63,15 @@ __all__ = [
     "AcceleratorRecord",
     "AcceleratorHandle",
     "FaultInjector",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "FailoverPolicy",
+    "FailoverConfig",
+    "ResilientAccelerator",
+    "reliable_rpc",
+    "IDEMPOTENT_OPS",
+    "RETRYABLE_OPS",
+    "DEDUP_OPS",
     "TransferConfig",
     "BlockPolicy",
     "FixedBlockPolicy",

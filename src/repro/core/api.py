@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from ..errors import MiddlewareError
+from ..errors import MiddlewareError, RequestTimeout
 from ..mpisim import Phantom, RankHandle, payload_nbytes
 from .blocksize import DEFAULT_TRANSFER, TransferConfig
 from .protocol import (
@@ -33,12 +33,12 @@ from .protocol import (
     Op,
     Request,
     Response,
-    Status,
     TAG_REQUEST,
     data_tag,
     next_request_id,
     reply_tag,
 )
+from .reliability import DEFAULT_RETRY, RetryPolicy, reliable_rpc
 from .transfer import assemble_chunks, payload_meta, slice_chunks
 
 
@@ -46,28 +46,50 @@ class RemoteAccelerator:
     """Front-end bound to one compute-node rank and one accelerator handle."""
 
     def __init__(self, rank: RankHandle, handle: AcceleratorHandle,
-                 transfer: TransferConfig = DEFAULT_TRANSFER):
+                 transfer: TransferConfig = DEFAULT_TRANSFER,
+                 retry: RetryPolicy | None = None):
         self.rank = rank
         self.handle = handle
         self.transfer = transfer
+        self.retry = retry or DEFAULT_RETRY
         self._kernels: dict[str, dict] = {}  # name -> staged args
         #: Cumulative accounting for the experiment harness.
         self.bytes_h2d = 0
         self.bytes_d2h = 0
         self.requests = 0
+        self.timeouts = 0
 
     # -- plumbing -------------------------------------------------------
-    def _rpc(self, op: Op, params: dict):
-        """One request/response round trip (generator). Returns Response."""
-        req = Request(op=op, req_id=next_request_id(),
-                      reply_to=self.rank.index, params=params)
-        self.requests += 1
-        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
-        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
-                                        tag=reply_tag(req.req_id))
-        resp: Response = msg.payload
+    def _rpc(self, op: Op, params: dict, timeout_s: float | None = None):
+        """One request/response round trip (generator). Returns Response.
+
+        With a timeout (explicit or from the retry policy), the reply is
+        raced against a virtual-time deadline; retryable ops are resent on
+        expiry per the policy's backoff schedule, and
+        :class:`RequestTimeout` surfaces once all deadlines passed.
+        """
+        resp = yield from reliable_rpc(
+            self.rank, self.handle.daemon_rank, TAG_REQUEST, op, params,
+            self.retry, timeout_s if timeout_s is not None else self.retry.timeout_s,
+            stats=self)
         resp.raise_for_status()
         return resp
+
+    def _await_reply(self, rreq, op: Op, timeout_s: float | None):
+        """Wait for a transfer reply, racing the configured deadline."""
+        if timeout_s is None:
+            msg = yield rreq.done
+            return msg
+        cond, dl = self.rank.comm.engine.race(rreq.done, timeout_s)
+        yield cond
+        if not rreq.completed:
+            self.timeouts += 1
+            raise RequestTimeout(
+                f"{op.value} to ac{self.handle.ac_id} timed out "
+                f"({timeout_s:g} s deadline)")
+        if not dl.processed:
+            dl.cancel()
+        return rreq.message
 
     # -- memory management ----------------------------------------------
     def mem_alloc(self, nbytes: int):
@@ -100,6 +122,8 @@ class RemoteAccelerator:
         dtag = data_tag(req.req_id)
         req.params["data_tag"] = dtag
         self.requests += 1
+        reply = self.rank.irecv(source=self.handle.daemon_rank,
+                                tag=reply_tag(req.req_id))
         self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
         # Stream the blocks; eager because the header announced them, so the
         # daemon's pinned ring buffers count as pre-posted receives.  Each
@@ -107,8 +131,8 @@ class RemoteAccelerator:
         for chunk in slice_chunks(payload, blocks):
             self.rank.isend(self.handle.daemon_rank, dtag, chunk, eager=True,
                             injection_s=cfg.h2d_block_post_s)
-        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
-                                        tag=reply_tag(req.req_id))
+        msg = yield from self._await_reply(
+            reply, Op.MEMCPY_H2D, self.retry.transfer_timeout_s(nbytes))
         resp: Response = msg.payload
         resp.raise_for_status()
         self.bytes_h2d += nbytes
@@ -137,15 +161,30 @@ class RemoteAccelerator:
         # then issue the request.
         block_reqs = [self.rank.irecv(source=self.handle.daemon_rank, tag=dtag)
                       for _ in blocks]
+        reply = self.rank.irecv(source=self.handle.daemon_rank,
+                                tag=reply_tag(req.req_id))
         self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
-        msg = yield from self.rank.recv(source=self.handle.daemon_rank,
-                                        tag=reply_tag(req.req_id))
+        deadline_s = self.retry.transfer_timeout_s(int(nbytes))
+        msg = yield from self._await_reply(reply, Op.MEMCPY_D2H, deadline_s)
         resp: Response = msg.payload
         # On failure the daemon sent no data; the pre-posted receives are
         # abandoned (their unique tag is never reused).
         resp.raise_for_status()
         if block_reqs:
-            yield self.rank.comm.engine.all_of([r.done for r in block_reqs])
+            all_blocks = self.rank.comm.engine.all_of(
+                [r.done for r in block_reqs])
+            if deadline_s is None:
+                yield all_blocks
+            else:
+                cond, dl = self.rank.comm.engine.race(all_blocks, deadline_s)
+                yield cond
+                if not all_blocks.triggered:
+                    self.timeouts += 1
+                    raise RequestTimeout(
+                        f"memcpy_d2h data stream from ac{self.handle.ac_id} "
+                        f"stalled ({deadline_s:g} s deadline)")
+                if not dl.processed:
+                    dl.cancel()
         chunks = [r.message.payload for r in block_reqs]
         self.bytes_d2h += int(nbytes)
         return assemble_chunks(chunks, blocks, resp.value)
@@ -182,21 +221,26 @@ class RemoteAccelerator:
         self._kernels[name] = dict(params)
 
     def kernel_run(self, name: str, params: dict | None = None,
-                   real: bool = True):
-        """Launch the kernel and wait for completion; returns its result."""
+                   real: bool = True, timeout_s: float | None = None):
+        """Launch the kernel and wait for completion; returns its result.
+
+        ``timeout_s`` overrides the retry policy's deadline for this launch
+        (long-running kernels need more headroom than control RPCs).
+        """
         if params is None:
             if name not in self._kernels:
                 raise MiddlewareError(
                     f"kernel {name!r} was not created on this accelerator")
             params = self._kernels[name]
         resp = yield from self._rpc(Op.KERNEL_RUN, {
-            "name": name, "params": params, "real": real})
+            "name": name, "params": params, "real": real},
+            timeout_s=timeout_s)
         return resp.value
 
     # -- misc -------------------------------------------------------------
-    def ping(self):
+    def ping(self, timeout_s: float | None = None):
         """Round-trip liveness probe; returns the one-way-ish RTT payload."""
-        resp = yield from self._rpc(Op.PING, {})
+        resp = yield from self._rpc(Op.PING, {}, timeout_s=timeout_s)
         return resp.value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -31,9 +31,11 @@ from .protocol import (
     Response,
     Status,
     TAG_ARM,
+    TAG_REQUEST,
     next_request_id,
     reply_tag,
 )
+from .reliability import DEFAULT_RETRY, RetryPolicy, reliable_rpc
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..cluster.node import AcceleratorNode
@@ -77,6 +79,10 @@ class ResourceManager:
         #: FIFO of allocation requests waiting for capacity.
         self._wait_queue: collections.deque[tuple[Request]] = collections.deque()
         self._stopped = False
+        self._hb_proc = None
+        self._hb_stop = False
+        #: Accelerators evicted by the health monitor (metrics).
+        self.heartbeat_evictions = 0
         self.proc = self.engine.process(self._serve(), name="arm")
 
     # -- queries (direct, for tests and metrics) -------------------------
@@ -100,13 +106,23 @@ class ResourceManager:
         return out
 
     def utilization(self, elapsed: float | None = None) -> float:
-        """Mean assigned-time fraction over all accelerators."""
+        """Mean assigned-time fraction over all accelerators.
+
+        ``elapsed`` restricts accounting to the last ``elapsed`` seconds of
+        virtual time; each accelerator's contribution (including in-flight
+        assignments) is clamped to that window so the fraction never
+        exceeds 1.0.
+        """
         total = elapsed if elapsed is not None else self.engine.now
         if total <= 0 or not self.records:
             return 0.0
-        snap = self.snapshot()
-        return sum(v["assigned_seconds"] for v in snap.values()) / (
-            total * len(self.records))
+        acc = 0.0
+        for r in self.records.values():
+            assigned = r.assigned_seconds
+            if r._assigned_at is not None:
+                assigned += min(self.engine.now - r._assigned_at, total)
+            acc += min(assigned, total)
+        return acc / (total * len(self.records))
 
     # -- service loop -----------------------------------------------------
     def _serve(self):
@@ -166,6 +182,13 @@ class ResourceManager:
 
     def _release(self, req: Request) -> None:
         ac_ids = req.params.get("ac_ids", [])
+        if len(set(ac_ids)) != len(ac_ids):
+            # Reject before mutating anything: a duplicated id would
+            # otherwise be finalized twice.
+            self._reply(req, Response(req.req_id, Status.DENIED,
+                                      error=f"duplicate ac_ids in release: "
+                                            f"{sorted(ac_ids)}"))
+            return
         records = []
         for ac_id in ac_ids:
             r = self.records.get(ac_id)
@@ -210,10 +233,69 @@ class ResourceManager:
             self._reply(req, Response(req.req_id, Status.ERROR,
                                       error=f"unknown accelerator {ac_id}"))
             return
+        self._mark_broken(r)
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    def _mark_broken(self, r: AcceleratorRecord) -> None:
         if r.state == AcceleratorState.ASSIGNED:
             self._finish_assignment(r)
         r.state = AcceleratorState.BROKEN
-        self._reply(req, Response(req.req_id, Status.OK))
+
+    # -- health checking --------------------------------------------------
+    def start_heartbeat(self, period_s: float = 1e-3,
+                        timeout_s: float = 0.5e-3,
+                        rounds: int | None = None):
+        """Start probing every registered daemon with PINGs.
+
+        Each round (every ``period_s`` of virtual time) the ARM pings every
+        non-broken accelerator and races the reply against ``timeout_s``.
+        A ``Status.BROKEN`` reply or a missed deadline evicts the
+        accelerator: it is marked BROKEN — and therefore leaves the free
+        pool before it can be handed to anyone.  ``rounds`` bounds the
+        monitor's lifetime (``None`` = run until :meth:`stop_heartbeat` or
+        ARM shutdown — note that an unbounded monitor keeps the event queue
+        non-empty forever).  Returns the monitor process.
+        """
+        if self._hb_proc is not None and self._hb_proc.is_alive:
+            return self._hb_proc
+        self._hb_stop = False
+        self._hb_proc = self.engine.process(
+            self._heartbeat(period_s, timeout_s, rounds), name="arm-heartbeat")
+        return self._hb_proc
+
+    def stop_heartbeat(self) -> None:
+        """Ask the health monitor to exit after its current round."""
+        self._hb_stop = True
+
+    def _heartbeat(self, period_s: float, timeout_s: float,
+                   rounds: int | None):
+        done = 0
+        while not (self._stopped or self._hb_stop):
+            if rounds is not None and done >= rounds:
+                break
+            yield self.engine.timeout(period_s)
+            done += 1
+            for r in list(self.records.values()):
+                if self._stopped or self._hb_stop:
+                    break
+                if r.state == AcceleratorState.BROKEN:
+                    continue
+                req_id = next_request_id()
+                rreq = self.rank.irecv(source=r.daemon_rank,
+                                       tag=reply_tag(req_id))
+                self.rank.isend(r.daemon_rank, TAG_REQUEST,
+                                Request(op=Op.PING, req_id=req_id,
+                                        reply_to=self.rank.index,
+                                        params={"heartbeat": True}))
+                cond, dl = self.engine.race(rreq.done, timeout_s)
+                yield cond
+                healthy = (rreq.completed
+                           and rreq.message.payload.status == Status.OK)
+                if rreq.completed and not dl.processed:
+                    dl.cancel()
+                if not healthy and r.state != AcceleratorState.BROKEN:
+                    self.heartbeat_evictions += 1
+                    self._mark_broken(r)
 
     def _repair(self, req: Request) -> None:
         ac_id = req.params["ac_id"]
@@ -230,17 +312,22 @@ class ResourceManager:
 class ArmClient:
     """The resource-management API used by compute-node processes."""
 
-    def __init__(self, rank: RankHandle, arm_rank: int):
+    def __init__(self, rank: RankHandle, arm_rank: int,
+                 retry: RetryPolicy | None = None):
         self.rank = rank
         self.arm_rank = arm_rank
+        self.retry = retry or DEFAULT_RETRY
+        self.requests = 0
+        self.timeouts = 0
 
-    def _rpc(self, op: Op, params: dict):
-        req = Request(op=op, req_id=next_request_id(),
-                      reply_to=self.rank.index, params=params)
-        self.rank.isend(self.arm_rank, TAG_ARM, req)
-        msg = yield from self.rank.recv(source=self.arm_rank,
-                                        tag=reply_tag(req.req_id))
-        resp: Response = msg.payload
+    _USE_POLICY = object()  # sentinel: defer to the retry policy's timeout
+
+    def _rpc(self, op: Op, params: dict, timeout_s=_USE_POLICY):
+        if timeout_s is ArmClient._USE_POLICY:
+            timeout_s = self.retry.timeout_s
+        resp = yield from reliable_rpc(
+            self.rank, self.arm_rank, TAG_ARM, op, params, self.retry,
+            timeout_s, stats=self)
         resp.raise_for_status()
         return resp
 
@@ -248,12 +335,14 @@ class ArmClient:
         """Request ``count`` exclusive accelerators (generator).
 
         With ``wait=True`` the request queues FIFO until satisfiable (the
-        batch-script style of Sect. V-B); with ``wait=False`` it fails
-        immediately with :class:`AllocationError` when capacity is short.
-        Returns a list of :class:`AcceleratorHandle`.
+        batch-script style of Sect. V-B) — deadlines are suspended for the
+        open-ended wait; with ``wait=False`` it fails immediately with
+        :class:`AllocationError` when capacity is short.  Returns a list
+        of :class:`AcceleratorHandle`.
         """
         resp = yield from self._rpc(Op.ARM_ALLOC,
-                                    {"count": count, "wait": wait, "job": job})
+                                    {"count": count, "wait": wait, "job": job},
+                                    timeout_s=None if wait else ArmClient._USE_POLICY)
         return resp.value
 
     def release(self, handles: _t.Sequence[AcceleratorHandle]):

@@ -21,6 +21,7 @@ Transfer handling implements the two protocols of Sect. IV/V-A:
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing as _t
 
@@ -29,7 +30,7 @@ import numpy as np
 from ..errors import DeviceMemoryError, KernelError
 from ..mpisim import Phantom, RankHandle
 from ..sim import Event
-from .protocol import Op, Request, Response, Status, TAG_REQUEST, reply_tag
+from .protocol import DEDUP_OPS, Op, Request, Response, Status, TAG_REQUEST, reply_tag
 from .transfer import ArrayMeta
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +45,8 @@ class DaemonStats:
     bytes_h2d: int = 0
     bytes_d2h: int = 0
     kernels_run: int = 0
+    #: Duplicate requests answered from the dedup cache (at-most-once).
+    dedup_hits: int = 0
     #: Peak host staging bytes in use at any instant (naive transfers
     #: buffer the whole message; the pipeline stays bounded).
     staging_peak: int = 0
@@ -58,6 +61,10 @@ class DaemonStats:
         self.staging_now -= nbytes
 
 
+#: At-most-once window: completed responses kept for duplicate detection.
+DEDUP_CACHE_SIZE = 512
+
+
 class Daemon:
     """Back-end daemon bound to one accelerator node."""
 
@@ -70,6 +77,12 @@ class Daemon:
         self.stats = DaemonStats()
         #: Set by fault injection: the accelerator hardware has failed.
         self.broken = False
+        #: Set by fault injection: the daemon host itself is gone — requests
+        #: are silently dropped, which is what makes client deadlines fire.
+        self.crashed = False
+        #: Responses of completed non-idempotent requests, for replaying to
+        #: duplicate (retried) requests instead of re-executing them.
+        self._dedup: collections.OrderedDict[int, Response] = collections.OrderedDict()
         self._stopped = False
         self.proc = self.engine.process(self._serve(), name=f"daemon:{node.name}")
 
@@ -78,6 +91,10 @@ class Daemon:
         while not self._stopped:
             msg = yield from self.rank.recv(tag=TAG_REQUEST)
             req: Request = msg.payload
+            if self.crashed:
+                # A dead host: the request vanishes.  No reply, no drain —
+                # the sender's deadline is its only way out.
+                continue
             self.stats.requests += 1
             # Software cost of receiving + dispatching one request.
             yield self.engine.timeout(self.cpu.request_handling_s)
@@ -93,6 +110,15 @@ class Daemon:
                                           error=f"{self.node.name} has failed"))
                 # A broken transfer still has in-flight data blocks to drain.
                 yield from self._drain_data(req, msg.source)
+                continue
+            cached = self._dedup.get(req.req_id)
+            if cached is not None and req.op in DEDUP_OPS:
+                # Duplicate of an already-executed request (the original
+                # reply was lost or late): replay the recorded response —
+                # at-most-once execution for ops with side effects.
+                self.stats.dedup_hits += 1
+                yield from self._drain_data(req, msg.source)
+                self._reply(req, cached, dedup=True)
                 continue
             handler = self._handlers().get(req.op)
             if handler is None:
@@ -113,7 +139,11 @@ class Daemon:
             Op.PEER_PUT: self._peer_put,
         }
 
-    def _reply(self, req: Request, resp: Response) -> None:
+    def _reply(self, req: Request, resp: Response, dedup: bool = False) -> None:
+        if not dedup and req.op in DEDUP_OPS:
+            self._dedup[req.req_id] = resp
+            while len(self._dedup) > DEDUP_CACHE_SIZE:
+                self._dedup.popitem(last=False)
         self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
 
     def _drain_data(self, req: Request, src: int):
@@ -231,6 +261,10 @@ class Daemon:
             meta = (alloc.dtype.str, alloc.shape)
         block_post = p.get("block_post_s")
         for off, size in blocks:
+            # The pinned-ring slot is occupied from the start of the
+            # device-to-pinned DMA until the NIC has drained it (send
+            # injection) — symmetric to the H2D direction.
+            self.stats.stage(size)
             yield self.gpu.dma.copy(size, pinned=pinned)
             if not gpudirect:
                 yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
@@ -238,8 +272,10 @@ class Daemon:
                              if is_real else Phantom(size))
             # Non-blocking: the send of block k overlaps the DMA of k+1;
             # sends come from the pre-registered pinned ring (cheap post).
-            self.rank.isend(src, dtag, chunk, eager=True,
-                            injection_s=block_post)
+            sreq = self.rank.isend(src, dtag, chunk, eager=True,
+                                   injection_s=block_post)
+            sreq.done.add_callback(
+                lambda _ev, size=size: self.stats.unstage(size))
         self.stats.bytes_d2h += nbytes
         self._reply(req, Response(req.req_id, Status.OK, value=meta))
 

@@ -42,6 +42,31 @@ class FaultInjector:
 
         self.engine.process(failer(), name=f"fault:ac{ac_id}")
 
+    def crash_at(self, ac_id: int, at_time: float,
+                 notify_arm: bool = False) -> None:
+        """Silently kill accelerator ``ac_id``'s daemon host at ``at_time``.
+
+        Unlike :meth:`break_at` — where the daemon host survives and keeps
+        answering ``Status.BROKEN`` — a crashed daemon drops every request
+        without replying.  The failure is only observable through client
+        deadlines (:class:`~repro.errors.RequestTimeout`) or the ARM's
+        heartbeat monitor.  ``notify_arm=True`` models out-of-band hardware
+        monitoring that still reports the crash to the ARM.
+        """
+        daemon = self.cluster.daemons[ac_id]
+
+        def crasher():
+            delay = at_time - self.engine.now
+            if delay > 0:
+                yield self.engine.timeout(delay)
+            daemon.crashed = True
+            if notify_arm:
+                self._notify_arm(Op.ARM_BREAK, ac_id)
+            if False:
+                yield  # pragma: no cover
+
+        self.engine.process(crasher(), name=f"crash:ac{ac_id}")
+
     def repair_at(self, ac_id: int, at_time: float) -> None:
         """Repair accelerator ``ac_id`` at virtual time ``at_time``."""
         daemon = self.cluster.daemons[ac_id]
@@ -51,6 +76,7 @@ class FaultInjector:
             if delay > 0:
                 yield self.engine.timeout(delay)
             daemon.broken = False
+            daemon.crashed = False
             self._notify_arm(Op.ARM_REPAIR, ac_id)
             if False:
                 yield  # pragma: no cover

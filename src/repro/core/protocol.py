@@ -68,6 +68,43 @@ class Op(enum.Enum):
     ARM_REPAIR = "arm_repair"
 
 
+#: Ops whose handler is safe to re-execute on a duplicate request: probes,
+#: validations, and read-only transfers.
+IDEMPOTENT_OPS = frozenset({
+    Op.PING,
+    Op.KERNEL_CREATE,
+    Op.MEMCPY_D2H,
+    Op.ARM_STATUS,
+    Op.ARM_BREAK,
+    Op.ARM_REPAIR,
+})
+
+#: Ops the client may automatically resend (same request id) after a
+#: timeout.  PING / KERNEL_CREATE / the ARM probes are naturally
+#: idempotent; MEM_ALLOC is retried safely because the daemon's
+#: request-id dedup cache replays the first allocation's address instead
+#: of allocating twice.
+RETRYABLE_OPS = frozenset({
+    Op.PING,
+    Op.MEM_ALLOC,
+    Op.KERNEL_CREATE,
+    Op.ARM_STATUS,
+    Op.ARM_BREAK,
+    Op.ARM_REPAIR,
+})
+
+#: Non-idempotent daemon ops that get at-most-once protection through the
+#: daemon's request-id dedup cache: a duplicate request replays the cached
+#: response instead of mutating device state again.
+DEDUP_OPS = frozenset({
+    Op.MEM_ALLOC,
+    Op.MEM_FREE,
+    Op.MEMCPY_H2D,
+    Op.KERNEL_RUN,
+    Op.PEER_PUT,
+})
+
+
 class Status(enum.IntEnum):
     """Response error codes."""
 
@@ -86,6 +123,9 @@ class Request:
     req_id: int
     reply_to: int                      # rank to answer
     params: dict = dataclasses.field(default_factory=dict)
+    #: Retry attempt number (0 = first send).  Resends keep the same
+    #: ``req_id`` so the receiver can deduplicate.
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.op, Op):
@@ -94,6 +134,8 @@ class Request:
             raise ProtocolError(f"invalid request id: {self.req_id!r}")
         if self.reply_to < 0:
             raise ProtocolError(f"invalid reply rank: {self.reply_to!r}")
+        if self.attempt < 0:
+            raise ProtocolError(f"invalid attempt number: {self.attempt!r}")
 
 
 @dataclasses.dataclass

@@ -65,7 +65,14 @@ def assemble_chunks(chunks: list[_t.Any], blocks: list[tuple[int, int]],
             f"got {len(chunks)} chunks for {len(blocks)} planned blocks"
         )
     total = sum(size for _, size in blocks)
-    if any(isinstance(c, Phantom) for c in chunks):
+    n_phantom = sum(isinstance(c, Phantom) for c in chunks)
+    if n_phantom:
+        if n_phantom != len(chunks):
+            # Collapsing a mix to a Phantom would silently discard the
+            # real chunks' data.
+            raise MiddlewareError(
+                f"cannot assemble mixed chunks: {n_phantom} phantom, "
+                f"{len(chunks) - n_phantom} real")
         return Phantom(total)
     out = np.empty(total, dtype=np.uint8)
     for chunk, (off, size) in zip(chunks, blocks):

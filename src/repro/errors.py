@@ -54,6 +54,16 @@ class ProtocolError(MiddlewareError):
     """Malformed or unexpected middleware wire messages."""
 
 
+class RequestTimeout(MiddlewareError, TimeoutError):
+    """A middleware request missed its (virtual-time) deadline.
+
+    Raised by the front-end and the ARM client when a reply does not arrive
+    within the configured per-request timeout, after any automatic retries
+    have been exhausted.  Subclasses :class:`TimeoutError` so generic
+    timeout handling also catches it.
+    """
+
+
 class AllocationError(ReproError):
     """Accelerator-resource-manager allocation failures."""
 

@@ -12,7 +12,7 @@ Public surface::
 """
 
 from .engine import Engine
-from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .events import AllOf, AnyOf, Condition, Deadline, Event, Timeout
 from .process import Process
 from .resources import BandwidthShare, Resource, Store
 from .trace import NULL_TRACER, TraceRecord, Tracer
@@ -21,6 +21,7 @@ __all__ = [
     "Engine",
     "Event",
     "Timeout",
+    "Deadline",
     "Condition",
     "AllOf",
     "AnyOf",

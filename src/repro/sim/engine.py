@@ -13,7 +13,7 @@ import itertools
 import typing as _t
 
 from ..errors import SimulationError
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Deadline, Event, Timeout
 from .process import Process, ProcessGenerator
 
 
@@ -122,6 +122,29 @@ class Engine:
     def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
         """Event that succeeds once any of ``events`` has succeeded."""
         return AnyOf(self, events)
+
+    def deadline(self, seconds: float) -> Deadline:
+        """A deadline timer firing ``seconds`` from now."""
+        return Deadline(self, seconds)
+
+    def race(self, event: Event, seconds: float) -> tuple[AnyOf, Deadline]:
+        """Race ``event`` against a fresh deadline of ``seconds``.
+
+        Returns ``(condition, deadline)``.  A process yields the condition;
+        afterwards ``event.triggered`` tells whether the real event won.  If
+        it did, cancel the deadline (unless already processed) to keep the
+        event heap clean::
+
+            cond, dl = engine.race(reply.done, timeout_s)
+            yield cond
+            if reply.done.triggered:
+                if not dl.processed:
+                    dl.cancel()
+            else:
+                ...  # the deadline fired first
+        """
+        dl = Deadline(self, seconds)
+        return self.any_of([event, dl]), dl
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine t={self.now:.9f} queued={len(self._heap)}>"

@@ -111,6 +111,17 @@ class TestDynamicAllocation:
         with pytest.raises(AllocationError, match="not assigned"):
             sess.call(client.release([AcceleratorHandle(0, 1)]))
 
+    def test_duplicate_release_denied(self, cluster, sess):
+        client = cluster.arm_client(0)
+        handles = sess.call(client.alloc(count=2))
+        with pytest.raises(AllocationError, match="duplicate"):
+            sess.call(client.release([handles[0], handles[0]]))
+        # The denied request must not have mutated the registry: both
+        # accelerators are still assigned and a clean release works.
+        assert cluster.arm.free_count() == 1
+        sess.call(client.release(handles))
+        assert cluster.arm.free_count() == 3
+
     def test_utilization_accounting(self, cluster):
         eng = cluster.engine
         client = cluster.arm_client(0)
@@ -124,6 +135,32 @@ class TestDynamicAllocation:
         eng.run(until=eng.process(job()))
         # 3 ACs busy for 8 of ~10 seconds -> ~80% mean utilization.
         assert cluster.arm.utilization() == pytest.approx(0.8, abs=0.05)
+
+    def test_utilization_clamped_to_window(self, cluster):
+        eng = cluster.engine
+        client = cluster.arm_client(0)
+
+        def job():
+            yield from client.alloc(count=3)
+            yield eng.timeout(10.0)
+
+        eng.run(until=eng.process(job()))
+        # In-flight assignments longer than the accounting window must be
+        # clamped to it, never reported as >100% busy.
+        assert cluster.arm.utilization(elapsed=5.0) == pytest.approx(1.0)
+        assert cluster.arm.utilization() <= 1.0
+
+    def test_utilization_partial_pool_in_flight(self, cluster):
+        eng = cluster.engine
+        client = cluster.arm_client(0)
+
+        def job():
+            yield from client.alloc(count=1)
+            yield eng.timeout(6.0)
+
+        eng.run(until=eng.process(job()))
+        # One of three accelerators busy the whole window.
+        assert cluster.arm.utilization(elapsed=3.0) == pytest.approx(1 / 3)
 
 
 class TestBreakRepair:

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, paper_testbed
+from repro.core import NAIVE_TRANSFER, pipeline
 from repro.mpisim import Phantom
-from repro.units import MiB
+from repro.units import KiB, MiB
 
 
 @pytest.fixture
@@ -77,6 +78,31 @@ class TestDaemonSerialization:
         new = sess.call(client1.alloc(count=1))
         ac = cluster.remote(1, new[0])
         assert sess.call(ac.ping()) == "pong"
+
+
+class TestD2HStaging:
+    def test_naive_d2h_stages_and_unstages_symmetrically(self, rig):
+        cluster, sess, acs = rig
+        ac = acs[0]
+        daemon = cluster.daemons[ac.handle.ac_id]
+        ptr = sess.call(ac.mem_alloc(8 * MiB))
+        daemon.stats.staging_peak = 0
+        sess.call(ac.memcpy_d2h(ptr, 8 * MiB, transfer=NAIVE_TRANSFER))
+        # The whole message was staged once and fully released.
+        assert daemon.stats.staging_peak == 8 * MiB
+        assert daemon.stats.staging_now == 0
+
+    def test_pipelined_d2h_staging_bounded(self, rig):
+        cluster, sess, acs = rig
+        ac = acs[0]
+        daemon = cluster.daemons[ac.handle.ac_id]
+        ptr = sess.call(ac.mem_alloc(8 * MiB))
+        daemon.stats.staging_peak = 0
+        sess.call(ac.memcpy_d2h(ptr, 8 * MiB, transfer=pipeline(128 * KiB)))
+        # Blocks are released as their sends complete: the window stays a
+        # small multiple of the block size, not the message size.
+        assert 0 < daemon.stats.staging_peak < 8 * MiB
+        assert daemon.stats.staging_now == 0
 
 
 class TestArmConcurrency:

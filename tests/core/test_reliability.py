@@ -1,0 +1,321 @@
+"""Timeouts, retry/backoff, daemon dedup, and ARM-mediated failover."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.core import (
+    DEDUP_OPS,
+    FailoverConfig,
+    FailoverPolicy,
+    FaultInjector,
+    Op,
+    Request,
+    RetryPolicy,
+    RETRYABLE_OPS,
+    TAG_REQUEST,
+    next_request_id,
+    reply_tag,
+)
+from repro.errors import AcceleratorFault, MiddlewareError, RequestTimeout
+from repro.units import MiB
+
+
+TIMEOUT_S = 1e-3
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=3))
+    return cluster, cluster.session(), FaultInjector(cluster)
+
+
+def _victim(cluster, sess, retry=None, config=None):
+    """Allocate one accelerator; return (handle, resilient wrapper)."""
+    handles = sess.call(cluster.arm_client(0).alloc(count=1, job="t"))
+    ra = cluster.resilient(0, handles[0], config=config, retry=retry)
+    return handles[0], ra
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic(self):
+        p = RetryPolicy(timeout_s=1e-3, backoff_base_s=100e-6, backoff_factor=2.0)
+        assert [p.backoff_s(k) for k in range(4)] == [
+            100e-6, 200e-6, 400e-6, 800e-6]
+
+    def test_transfer_deadline_scales_with_size(self):
+        p = RetryPolicy(timeout_s=1e-3, transfer_floor_Bps=100e6)
+        assert p.transfer_timeout_s(0) == 1e-3
+        assert p.transfer_timeout_s(100_000_000) == pytest.approx(1.001)
+        assert RetryPolicy().transfer_timeout_s(1 * MiB) is None
+
+    def test_validation(self):
+        with pytest.raises(MiddlewareError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(MiddlewareError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(MiddlewareError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_op_classification(self):
+        # Retried ops with side effects must be covered by the dedup cache.
+        assert Op.PING in RETRYABLE_OPS and Op.PING not in DEDUP_OPS
+        assert Op.MEM_ALLOC in RETRYABLE_OPS and Op.MEM_ALLOC in DEDUP_OPS
+        assert Op.KERNEL_RUN not in RETRYABLE_OPS  # at most once
+
+
+class TestTimeouts:
+    def test_crashed_daemon_times_out_with_retries(self, rig):
+        cluster, sess, injector = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0],
+                            retry=RetryPolicy(timeout_s=TIMEOUT_S))
+        injector.crash_at(handles[0].ac_id, at_time=0.0)
+        sess.sleep(1e-4)
+        with pytest.raises(RequestTimeout):
+            sess.call(ac.ping())
+        # PING is retryable: every attempt was sent and every deadline fired.
+        assert ac.requests == 4
+        assert ac.timeouts == 4
+
+    def test_retry_schedule_timing(self, rig):
+        # Total wall time = 4 deadlines + the three backoff gaps, exactly
+        # (no jitter -> deterministic simulations).
+        cluster, sess, injector = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        retry = RetryPolicy(timeout_s=TIMEOUT_S)
+        ac = cluster.remote(0, handles[0], retry=retry)
+        injector.crash_at(handles[0].ac_id, at_time=0.0)
+        sess.sleep(1e-4)
+        t0 = sess.now
+        with pytest.raises(RequestTimeout):
+            sess.call(ac.ping())
+        expected = 4 * TIMEOUT_S + sum(retry.backoff_s(k) for k in range(3))
+        assert sess.now - t0 == pytest.approx(expected, rel=1e-9)
+
+    def test_non_retryable_op_single_attempt(self, rig):
+        cluster, sess, injector = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0],
+                            retry=RetryPolicy(timeout_s=TIMEOUT_S))
+        ptr = sess.call(ac.mem_alloc(64))
+        ac.requests = ac.timeouts = 0
+        injector.crash_at(handles[0].ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+        with pytest.raises(RequestTimeout):
+            sess.call(ac.kernel_run("dscal", {"x": ptr, "n": 8, "alpha": 1.0},
+                                    real=False))
+        assert ac.requests == 1  # KERNEL_RUN is at-most-once: no resend
+
+    def test_deadline_fires_mid_transfer(self, rig):
+        # The bulk-data pipeline stalls when the daemon goes silent; the
+        # transfer deadline, not a hang, is what the caller sees.
+        cluster, sess, injector = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0],
+                            retry=RetryPolicy(timeout_s=TIMEOUT_S))
+        ptr = sess.call(ac.mem_alloc(8 * MiB))
+        injector.crash_at(handles[0].ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+        with pytest.raises(RequestTimeout):
+            sess.call(ac.memcpy_d2h(ptr, 8 * MiB))
+
+    def test_no_timeout_by_default(self, rig):
+        # Default policy keeps the legacy wait-forever semantics.
+        cluster, sess, _ = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        ac = cluster.remote(0, handles[0])
+        assert ac.retry.timeout_s is None
+        assert sess.call(ac.ping()) is not None
+
+
+class TestDaemonDedup:
+    def _exchange(self, cluster, sess, dst, req):
+        rank = cluster.compute_rank(0)
+
+        def roundtrip():
+            rreq = rank.irecv(source=dst, tag=reply_tag(req.req_id))
+            rank.isend(dst, TAG_REQUEST, req)
+            yield rreq.done
+            return rreq.message.payload
+
+        return sess.call(roundtrip())
+
+    def test_duplicate_mem_alloc_replayed_not_reexecuted(self, rig):
+        cluster, sess, _ = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        daemon = cluster.daemons[handles[0].ac_id]
+        req_id = next_request_id()
+        req = Request(op=Op.MEM_ALLOC, req_id=req_id, reply_to=0,
+                      params={"nbytes": 4096})
+        first = self._exchange(cluster, sess, handles[0].daemon_rank, req)
+        used = daemon.gpu.memory.used_bytes
+        dup = Request(op=Op.MEM_ALLOC, req_id=req_id, reply_to=0,
+                      params={"nbytes": 4096}, attempt=1)
+        second = self._exchange(cluster, sess, handles[0].daemon_rank, dup)
+        # Same address, no second allocation, and the hit is counted.
+        assert second.value == first.value
+        assert daemon.gpu.memory.used_bytes == used
+        assert daemon.stats.dedup_hits == 1
+
+    def test_distinct_req_ids_still_allocate(self, rig):
+        cluster, sess, _ = rig
+        handles = sess.call(cluster.arm_client(0).alloc(count=1))
+        daemon = cluster.daemons[handles[0].ac_id]
+        for _ in range(2):
+            req = Request(op=Op.MEM_ALLOC, req_id=next_request_id(),
+                          reply_to=0, params={"nbytes": 4096})
+            self._exchange(cluster, sess, handles[0].daemon_rank, req)
+        assert daemon.gpu.memory.used_bytes == 2 * 4096
+        assert daemon.stats.dedup_hits == 0
+
+
+class TestFailover:
+    def test_fail_fast_surfaces_fault(self, rig):
+        cluster, sess, injector = rig
+        _, ra = _victim(cluster, sess,
+                        config=FailoverConfig(policy=FailoverPolicy.FAIL_FAST))
+        injector.break_at(ra.handle.ac_id, at_time=0.0)
+        sess.sleep(1e-4)
+        with pytest.raises(AcceleratorFault):
+            sess.call(ra.ping())
+        assert ra.failovers == 0
+
+    def test_retry_same_after_repair(self, rig):
+        cluster, sess, injector = rig
+        _, ra = _victim(cluster, sess,
+                        config=FailoverConfig(policy=FailoverPolicy.RETRY_SAME,
+                                              retry_delay_s=2e-3))
+        victim = ra.handle.ac_id
+        injector.break_at(victim, at_time=0.0)
+        injector.repair_at(victim, at_time=1e-3)  # fixed before the retry
+        sess.sleep(1e-4)
+        assert sess.call(ra.ping()) is not None
+        assert ra.failovers == 1
+        assert ra.handle.ac_id == victim  # same accelerator throughout
+
+    def test_reallocate_replays_real_data(self, rig):
+        cluster, sess, injector = rig
+        handle, ra = _victim(cluster, sess, config=FailoverConfig(job="t"))
+        data = np.arange(2048, dtype=np.float64)
+        ptr = sess.call(ra.mem_alloc(data.nbytes))
+        sess.call(ra.memcpy_h2d(ptr, data))
+        injector.break_at(handle.ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+        # The very next operation triggers failover; the virtual address
+        # survives and the replayed buffer round-trips bit-exactly.
+        out = sess.call(ra.memcpy_d2h(ptr, data.nbytes))
+        assert ra.failovers == 1
+        assert ra.handle.ac_id != handle.ac_id
+        assert np.array_equal(out, data)
+        assert cluster.arm.snapshot()[handle.ac_id]["state"] == "broken"
+
+    def test_reallocate_replays_kernels_and_translates_args(self, rig):
+        cluster, sess, injector = rig
+        handle, ra = _victim(cluster, sess, config=FailoverConfig(job="t"))
+        data = np.ones(1024, dtype=np.float64)
+        ptr = sess.call(ra.mem_alloc(data.nbytes))
+        sess.call(ra.memcpy_h2d(ptr, data))
+        sess.call(ra.kernel_create("dscal"))
+        injector.break_at(handle.ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+        sess.call(ra.kernel_run("dscal",
+                                {"x": ptr, "n": len(data), "alpha": 3.0}))
+        out = sess.call(ra.memcpy_d2h(ptr, data.nbytes))
+        assert ra.failovers == 1
+        assert np.allclose(out, 3.0 * data)
+
+    def test_crash_failover_via_timeout(self, rig):
+        # The silent failure mode: detection happens through the request
+        # deadline, then the same reallocate path recovers.
+        cluster, sess, injector = rig
+        handle, ra = _victim(cluster, sess,
+                             retry=RetryPolicy(timeout_s=TIMEOUT_S),
+                             config=FailoverConfig(job="t"))
+        data = np.arange(512, dtype=np.float64)
+        ptr = sess.call(ra.mem_alloc(data.nbytes))
+        sess.call(ra.memcpy_h2d(ptr, data))
+        injector.crash_at(handle.ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+        out = sess.call(ra.memcpy_d2h(ptr, data.nbytes))
+        assert ra.failovers == 1
+        assert ra.timeouts >= 1
+        assert np.array_equal(out, data)
+
+    def test_max_failovers_exhausted(self, rig):
+        cluster, sess, injector = rig
+        _, ra = _victim(cluster, sess,
+                        config=FailoverConfig(max_failovers=0, job="t"))
+        injector.break_at(ra.handle.ac_id, at_time=0.0)
+        sess.sleep(1e-4)
+        with pytest.raises(AcceleratorFault):
+            sess.call(ra.ping())
+
+    def test_run_guarded_reruns_whole_transaction(self, rig):
+        cluster, sess, injector = rig
+        handle, ra = _victim(cluster, sess, config=FailoverConfig(job="t"))
+        data = np.full(256, 2.0)
+        ptr = sess.call(ra.mem_alloc(data.nbytes))
+        sess.call(ra.memcpy_h2d(ptr, data))
+        sess.call(ra.kernel_create("dscal"))
+        injector.break_at(handle.ac_id, at_time=sess.now)
+        sess.sleep(1e-4)
+
+        def transaction():
+            # kernel result is checkpointed back; if a fault lands anywhere
+            # in here the whole unit re-runs on the replayed upload.
+            yield from ra.kernel_run("dscal",
+                                     {"x": ptr, "n": len(data), "alpha": 5.0})
+            out = yield from ra.memcpy_d2h(ptr, data.nbytes)
+            yield from ra.memcpy_h2d(ptr, out)
+            return out
+
+        out = sess.call(ra.run_guarded(transaction))
+        assert ra.failovers == 1
+        assert np.allclose(out, 10.0)  # scaled exactly once, not twice
+
+
+class TestHeartbeat:
+    def test_heartbeat_evicts_crashed_accelerator(self, rig):
+        cluster, sess, injector = rig
+        injector.crash_at(1, at_time=0.0)
+        cluster.arm.start_heartbeat(period_s=1e-3, timeout_s=0.5e-3, rounds=3)
+        sess.sleep(0.01)
+        assert cluster.arm.heartbeat_evictions == 1
+        assert cluster.arm.snapshot()[1]["state"] == "broken"
+        assert cluster.arm.free_count() == 2
+
+    def test_heartbeat_leaves_healthy_pool_alone(self, rig):
+        cluster, sess, _ = rig
+        cluster.arm.start_heartbeat(period_s=1e-3, timeout_s=0.5e-3, rounds=3)
+        sess.sleep(0.01)
+        assert cluster.arm.heartbeat_evictions == 0
+        assert cluster.arm.free_count() == 3
+
+
+class TestSessionDeadline:
+    def test_sync_call_timeout(self, rig):
+        cluster, sess, _ = rig
+
+        def slow():
+            yield cluster.engine.timeout(1.0)
+            return "done"
+
+        with pytest.raises(RequestTimeout):
+            sess.call(slow(), timeout_s=0.01)
+
+        # The engine stays usable after the interrupted call.
+        def quick():
+            yield cluster.engine.timeout(1e-6)
+            return "ok"
+
+        assert sess.call(quick()) == "ok"
+
+    def test_sync_call_completes_under_deadline(self, rig):
+        cluster, sess, _ = rig
+
+        def quick():
+            yield cluster.engine.timeout(0.001)
+            return 42
+
+        assert sess.call(quick(), timeout_s=1.0) == 42

@@ -60,6 +60,15 @@ class TestChunkHelpers:
         np.testing.assert_array_equal(out, arr)
         assert flat.nbytes == 24
 
+    def test_assemble_mixed_chunks_rejected(self):
+        # A phantom chunk among real ones would silently discard data if
+        # the mix collapsed to a Phantom.
+        blocks = [(0, 2), (2, 2)]
+        with pytest.raises(MiddlewareError, match="mixed"):
+            assemble_chunks([np.zeros(2, np.uint8), Phantom(2)], blocks, None)
+        with pytest.raises(MiddlewareError, match="mixed"):
+            assemble_chunks([Phantom(2), np.zeros(2, np.uint8)], blocks, None)
+
     def test_unsupported_payload_rejected(self):
         with pytest.raises(MiddlewareError, match="unsupported"):
             as_flat_bytes({"a": 1})

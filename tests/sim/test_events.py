@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
+from repro.sim import AllOf, AnyOf, Deadline, Engine, Event, Timeout
 
 
 @pytest.fixture
@@ -132,6 +132,31 @@ class TestTimeout:
             eng.timeout(1.0, label).add_callback(lambda e: order.append(e.value))
         eng.run()
         assert order == ["a", "b", "c"]
+
+
+class TestRace:
+    def test_event_wins_race(self, eng):
+        ev = eng.timeout(1.0, value="work")
+        cond, dl = eng.race(ev, 5.0)
+        eng.run(until=cond)
+        assert ev.processed and not dl.processed
+        assert eng.now == 1.0
+        dl.cancel()  # provisional timer; engine queue drains clean
+        eng.run()
+        assert not dl.processed
+
+    def test_deadline_wins_race(self, eng):
+        ev = eng.timeout(10.0)
+        cond, dl = eng.race(ev, 2.0)
+        eng.run(until=cond)
+        assert dl.processed and not ev.processed
+        assert eng.now == 2.0
+
+    def test_deadline_is_marker_subclass(self, eng):
+        _, dl = eng.race(eng.timeout(1.0), 2.0)
+        assert isinstance(dl, Deadline)
+        assert isinstance(dl, Timeout)
+        assert isinstance(eng.deadline(1.0), Deadline)
 
 
 class TestConditions:

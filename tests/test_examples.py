@@ -34,7 +34,8 @@ class TestExamples:
     def test_fault_tolerance(self, capsys):
         out = run_example("fault_tolerance.py", capsys)
         assert "ARM assigned replacement" in out
-        assert "99/100" in out
+        assert "100/100" in out
+        assert "request deadlines hit: 1" in out
 
     @pytest.mark.slow
     def test_multi_gpu_qr(self, capsys):
