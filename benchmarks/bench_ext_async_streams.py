@@ -1,0 +1,10 @@
+"""Extension I: async command streams vs per-op RPC round trips."""
+
+from repro.analysis.experiments import ext_async
+
+
+def test_ext_async_streams(benchmark, quick, figure_store):
+    fig = benchmark.pedantic(ext_async.run, kwargs={"quick": quick},
+                             rounds=1, iterations=1)
+    ext_async.check(fig)
+    figure_store(fig, fmt="{:>12.3f}")

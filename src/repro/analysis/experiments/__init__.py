@@ -6,6 +6,7 @@ qualitative shape the paper reports (who wins, crossovers, ratios).
 """
 
 from . import (
+    ext_async,
     ext_batch,
     ext_blocksize,
     ext_contention,
@@ -27,4 +28,5 @@ __all__ = [
     "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
     "ext_tcp", "ext_blocksize", "ext_utilization", "ext_contention",
     "ext_faults", "ext_gpudirect", "ext_lookahead", "ext_batch",
+    "ext_async",
 ]

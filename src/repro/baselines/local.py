@@ -119,5 +119,20 @@ class LocalAccelerator:
         result = yield self.gpu.launch(name, params, real=real)
         return result
 
+    # -- streams ----------------------------------------------------------
+    def stream(self, max_batch: int | None = None, name: str | None = None):
+        """Create an asynchronous command stream over the local GPU.
+
+        There is no RPC to batch, so the stream pumps ops one at a time —
+        but the queue/future surface is identical to the remote one, which
+        lets workloads and the deterministic harness run the same program
+        against both backends.
+        """
+        from ..core.stream import DEFAULT_MAX_BATCH, Stream
+        if max_batch is None:
+            max_batch = DEFAULT_MAX_BATCH
+        return Stream(self, self.engine, max_batch=max_batch, batching=False,
+                      name=name or f"local-{self.gpu.name}-stream")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LocalAccelerator on {self.gpu.name}>"

@@ -24,6 +24,7 @@ from .daemon import Daemon, DaemonStats
 from .faults import FaultInjector
 from .protocol import (
     AcceleratorHandle,
+    BATCHABLE_OPS,
     DEDUP_OPS,
     IDEMPOTENT_OPS,
     Op,
@@ -46,6 +47,7 @@ from .reliability import (
     reliable_rpc,
 )
 from .session import SyncSession
+from .stream import DEFAULT_MAX_BATCH, Stream, StreamFuture
 from .transfer import assemble_chunks, payload_meta, slice_chunks
 
 __all__ = [
@@ -72,6 +74,10 @@ __all__ = [
     "IDEMPOTENT_OPS",
     "RETRYABLE_OPS",
     "DEDUP_OPS",
+    "BATCHABLE_OPS",
+    "Stream",
+    "StreamFuture",
+    "DEFAULT_MAX_BATCH",
     "TransferConfig",
     "BlockPolicy",
     "FixedBlockPolicy",

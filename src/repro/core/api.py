@@ -243,6 +243,43 @@ class RemoteAccelerator:
         resp = yield from self._rpc(Op.PING, {}, timeout_s=timeout_s)
         return resp.value
 
+    # -- batching / streams -----------------------------------------------
+    def batch_rpc(self, calls: _t.Sequence[tuple[Op, dict]],
+                  timeout_s: float | None = None):
+        """Execute several control ops in one request frame (generator).
+
+        ``calls`` is a list of ``(op, params)`` pairs drawn from
+        :data:`~repro.core.protocol.BATCHABLE_OPS`.  The whole frame costs
+        one round trip; the daemon executes the ops in order and replies
+        with the list of per-op :class:`Response` objects, which this
+        returns without raising — the caller (normally a
+        :class:`~repro.core.stream.Stream`) inspects each sub-response.
+        A retried frame is at-most-once via the daemon's dedup cache.
+        """
+        from .protocol import BATCHABLE_OPS
+        wire = []
+        for op, params in calls:
+            if op not in BATCHABLE_OPS:
+                raise MiddlewareError(
+                    f"op {op.value!r} cannot ride a batch frame")
+            wire.append((op.value, params))
+        resp = yield from self._rpc(Op.BATCH, {"ops": wire},
+                                    timeout_s=timeout_s)
+        return resp.value
+
+    def stream(self, max_batch: int | None = None, name: str | None = None):
+        """Create an asynchronous command :class:`~repro.core.stream.Stream`.
+
+        The stream queues ``ac*`` ops, returns futures immediately, and
+        coalesces consecutive control ops into BATCH frames over this
+        front-end's reliable-RPC path.
+        """
+        from .stream import DEFAULT_MAX_BATCH, Stream
+        if max_batch is None:
+            max_batch = DEFAULT_MAX_BATCH
+        return Stream(self, self.rank.comm.engine, max_batch=max_batch,
+                      name=name or f"ac{self.handle.ac_id}-stream")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RemoteAccelerator ac{self.handle.ac_id} via rank {self.rank.index}>"
 
@@ -253,8 +290,35 @@ def run_parallel(engine, generators: _t.Sequence[_t.Iterator]):
     Spawns each generator as its own process and waits for all — e.g. the
     multi-GPU factorizations use this to drive their accelerators in
     parallel from one compute-node process.  Returns the list of results.
+
+    If any branch raises, the first failure propagates annotated with
+    which branches failed — the bare AllOf condition would otherwise
+    surface an exception with no hint of its origin, and silently drop
+    every failure after the first.
     """
     procs = [engine.process(g) for g in generators]
     if procs:
-        yield engine.all_of(procs)
+        try:
+            yield engine.all_of(procs)
+        except Exception as exc:
+            _annotate_parallel_failure(exc, procs)
+            raise
     return [p.value for p in procs]
+
+
+def _annotate_parallel_failure(exc: Exception, procs) -> None:
+    """Attach which parallel branches failed to the surfaced exception."""
+    failed = [f"branch {i} ({p.name}): "
+              f"{type(p.value).__name__}: {p.value}"
+              for i, p in enumerate(procs)
+              if p.triggered and not p.ok]
+    if not failed:
+        failed = [f"{type(exc).__name__}: {exc}"]
+    note = ("run_parallel: " + "; ".join(failed)
+            + (f" [{len(failed)} of {len(procs)} branches failed]"
+               if len(failed) > 1 else ""))
+    if hasattr(exc, "add_note"):  # Python >= 3.11
+        exc.add_note(note)
+    else:  # pragma: no cover - exercised on the 3.10 CI leg
+        exc.args = (f"{exc.args[0] if exc.args else exc}\n{note}",
+                    *exc.args[1:])

@@ -42,9 +42,19 @@ class DaemonStats:
     """Operation counters and staging-memory accounting."""
 
     requests: int = 0
+    #: Requests that moved bulk data (H2D/D2H/peer copies).  Everything
+    #: else is a *control* round trip — the traffic stream batching cuts.
+    transfer_requests: int = 0
     bytes_h2d: int = 0
     bytes_d2h: int = 0
     kernels_run: int = 0
+
+    @property
+    def control_requests(self) -> int:
+        return self.requests - self.transfer_requests
+    #: BATCH frames served, and control ops that arrived inside them.
+    batches: int = 0
+    batched_ops: int = 0
     #: Duplicate requests answered from the dedup cache (at-most-once).
     dedup_hits: int = 0
     #: Peak host staging bytes in use at any instant (naive transfers
@@ -96,6 +106,8 @@ class Daemon:
                 # the sender's deadline is its only way out.
                 continue
             self.stats.requests += 1
+            if req.op in (Op.MEMCPY_H2D, Op.MEMCPY_D2H, Op.PEER_PUT):
+                self.stats.transfer_requests += 1
             # Software cost of receiving + dispatching one request.
             yield self.engine.timeout(self.cpu.request_handling_s)
             if req.op == Op.SHUTDOWN:
@@ -137,6 +149,22 @@ class Daemon:
             Op.KERNEL_CREATE: self._kernel_create,
             Op.KERNEL_RUN: self._kernel_run,
             Op.PEER_PUT: self._peer_put,
+            Op.BATCH: self._batch,
+        }
+
+    def _executors(self):
+        """Control-op bodies usable standalone or inside a batch frame.
+
+        Each is a generator taking ``(req_id, params)`` and returning a
+        :class:`Response` without sending it — the caller decides whether
+        the response travels alone or as one entry of a batch reply.
+        """
+        return {
+            Op.PING: self._exec_ping,
+            Op.MEM_ALLOC: self._exec_mem_alloc,
+            Op.MEM_FREE: self._exec_mem_free,
+            Op.KERNEL_CREATE: self._exec_kernel_create,
+            Op.KERNEL_RUN: self._exec_kernel_run,
         }
 
     def _reply(self, req: Request, resp: Response, dedup: bool = False) -> None:
@@ -153,28 +181,78 @@ class Daemon:
                 yield from self.rank.recv(source=src, tag=req.params["data_tag"])
 
     # -- simple ops -----------------------------------------------------
-    def _ping(self, req: Request, src: int):
-        self._reply(req, Response(req.req_id, Status.OK, value="pong"))
-        return
+    def _exec_ping(self, req_id: int, params: dict):
+        return Response(req_id, Status.OK, value="pong")
         yield  # pragma: no cover - makes this a generator
 
-    def _mem_alloc(self, req: Request, src: int):
+    def _ping(self, req: Request, src: int):
+        resp = yield from self._exec_ping(req.req_id, req.params)
+        self._reply(req, resp)
+
+    def _exec_mem_alloc(self, req_id: int, params: dict):
         yield self.engine.timeout(self.cpu.malloc_s)
         try:
-            addr = self.gpu.memory.malloc(req.params["nbytes"])
+            addr = self.gpu.memory.malloc(params["nbytes"])
         except DeviceMemoryError as exc:
-            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
-            return
-        self._reply(req, Response(req.req_id, Status.OK, value=addr))
+            return Response(req_id, Status.ERROR, error=str(exc))
+        return Response(req_id, Status.OK, value=addr)
+
+    def _mem_alloc(self, req: Request, src: int):
+        resp = yield from self._exec_mem_alloc(req.req_id, req.params)
+        self._reply(req, resp)
+
+    def _exec_mem_free(self, req_id: int, params: dict):
+        yield self.engine.timeout(self.cpu.malloc_s)
+        try:
+            self.gpu.memory.free(params["addr"])
+        except DeviceMemoryError as exc:
+            return Response(req_id, Status.ERROR, error=str(exc))
+        return Response(req_id, Status.OK)
 
     def _mem_free(self, req: Request, src: int):
-        yield self.engine.timeout(self.cpu.malloc_s)
-        try:
-            self.gpu.memory.free(req.params["addr"])
-        except DeviceMemoryError as exc:
-            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
-            return
-        self._reply(req, Response(req.req_id, Status.OK))
+        resp = yield from self._exec_mem_free(req.req_id, req.params)
+        self._reply(req, resp)
+
+    # -- batched control frames -----------------------------------------
+    def _batch(self, req: Request, src: int):
+        """Execute a coalesced control frame: N ops, one round trip.
+
+        Sub-ops run strictly in list order (per-stream ordering).  The
+        first failing sub-op aborts the rest — their entries answer ERROR
+        without touching device state, so the client can map failures back
+        to queue positions.  The frame-level reply is OK whenever the frame
+        itself was well-formed; per-op status lives in the value list.
+        """
+        executors = self._executors()
+        self.stats.batches += 1
+        self.stats.batched_ops += len(req.params["ops"])
+        sub: list[Response] = []
+        failed: str | None = None
+        for i, (op_value, params) in enumerate(req.params["ops"]):
+            if i > 0:
+                # Dispatching each additional sub-op costs daemon CPU just
+                # like a separate request would — only the network round
+                # trips are saved.
+                yield self.engine.timeout(self.cpu.request_handling_s)
+            if failed is not None:
+                sub.append(Response(req.req_id, Status.ERROR,
+                                    error=f"skipped: {failed}"))
+                continue
+            try:
+                op = Op(op_value)
+            except ValueError:
+                op = None
+            exec_fn = executors.get(op) if op is not None else None
+            if exec_fn is None:
+                sub.append(Response(req.req_id, Status.ERROR,
+                                    error=f"op {op_value!r} is not batchable"))
+                failed = f"op {i} ({op_value}) was not batchable"
+                continue
+            resp = yield from exec_fn(req.req_id, params)
+            sub.append(resp)
+            if not resp.ok:
+                failed = f"op {i} ({op_value}) failed: {resp.error}"
+        self._reply(req, Response(req.req_id, Status.OK, value=sub))
 
     # -- transfers ------------------------------------------------------
     def _memcpy_h2d(self, req: Request, src: int):
@@ -326,25 +404,30 @@ class Daemon:
                                   error=peer_resp.error))
 
     # -- kernels --------------------------------------------------------
-    def _kernel_create(self, req: Request, src: int):
+    def _exec_kernel_create(self, req_id: int, params: dict):
         from ..gpusim.kernels import resolve
-        name = req.params["name"]
+        name = params["name"]
         # kernel_create uploads the module if the device lacks it.
         if not resolve(self.gpu.registry, name):
-            self._reply(req, Response(req.req_id, Status.ERROR,
-                                      error=f"unknown kernel {name!r}"))
-            return
-        self._reply(req, Response(req.req_id, Status.OK))
-        return
+            return Response(req_id, Status.ERROR,
+                            error=f"unknown kernel {name!r}")
+        return Response(req_id, Status.OK)
         yield  # pragma: no cover - makes this a generator
 
-    def _kernel_run(self, req: Request, src: int):
-        p = req.params
+    def _kernel_create(self, req: Request, src: int):
+        resp = yield from self._exec_kernel_create(req.req_id, req.params)
+        self._reply(req, resp)
+
+    def _exec_kernel_run(self, req_id: int, params: dict):
         try:
-            result = yield self.gpu.launch(p["name"], p.get("params") or {},
-                                           real=p.get("real", True))
+            result = yield self.gpu.launch(params["name"],
+                                           params.get("params") or {},
+                                           real=params.get("real", True))
         except KernelError as exc:
-            self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
-            return
+            return Response(req_id, Status.ERROR, error=str(exc))
         self.stats.kernels_run += 1
-        self._reply(req, Response(req.req_id, Status.OK, value=result))
+        return Response(req_id, Status.OK, value=result)
+
+    def _kernel_run(self, req: Request, src: int):
+        resp = yield from self._exec_kernel_run(req.req_id, req.params)
+        self._reply(req, resp)

@@ -59,6 +59,7 @@ class Op(enum.Enum):
     KERNEL_RUN = "kernel_run"
     PEER_PUT = "peer_put"         # direct accelerator-to-accelerator copy
     PING = "ping"
+    BATCH = "batch"               # several control ops in one frame
     SHUTDOWN = "shutdown"
     # ARM operations:
     ARM_ALLOC = "arm_alloc"
@@ -88,6 +89,7 @@ RETRYABLE_OPS = frozenset({
     Op.PING,
     Op.MEM_ALLOC,
     Op.KERNEL_CREATE,
+    Op.BATCH,
     Op.ARM_STATUS,
     Op.ARM_BREAK,
     Op.ARM_REPAIR,
@@ -102,6 +104,20 @@ DEDUP_OPS = frozenset({
     Op.MEMCPY_H2D,
     Op.KERNEL_RUN,
     Op.PEER_PUT,
+    Op.BATCH,
+})
+
+#: Control ops a :class:`~repro.core.stream.Stream` may coalesce into one
+#: :data:`Op.BATCH` frame.  Bulk transfers are excluded: their data blocks
+#: travel on per-request tags and must keep their own frames.  A retried
+#: batch is at-most-once because BATCH is in :data:`DEDUP_OPS` — the daemon
+#: replays the recorded sub-responses instead of re-executing the ops.
+BATCHABLE_OPS = frozenset({
+    Op.PING,
+    Op.MEM_ALLOC,
+    Op.MEM_FREE,
+    Op.KERNEL_CREATE,
+    Op.KERNEL_RUN,
 })
 
 

@@ -423,6 +423,21 @@ class ResilientAccelerator:
         result = yield from self.run_guarded(lambda: self._ac.ping())
         return result
 
+    def stream(self, max_batch: int | None = None, name: str | None = None):
+        """Create an asynchronous command stream over this wrapper.
+
+        Ops pump one at a time through the guarded surface rather than in
+        BATCH frames: each op must be individually failover-guarded so a
+        mid-frame fault cannot leave half a frame applied to the old
+        accelerator and half to its replacement.  The queue/future surface
+        is identical to the batching stream.
+        """
+        from .stream import DEFAULT_MAX_BATCH, Stream
+        if max_batch is None:
+            max_batch = DEFAULT_MAX_BATCH
+        return Stream(self, self.engine, max_batch=max_batch, batching=False,
+                      name=name or f"resilient-ac{self._ac.handle.ac_id}-stream")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ResilientAccelerator ac{self._ac.handle.ac_id} "
                 f"policy={self.config.policy.value} failovers={self.failovers}>")

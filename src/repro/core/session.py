@@ -52,11 +52,20 @@ class SyncSession:
             f"sync call {proc.name!r} exceeded its {timeout_s:g} s deadline")
 
     def parallel(self, generators: _t.Sequence[_t.Iterator]) -> list[_t.Any]:
-        """Run several operations concurrently; returns their results."""
+        """Run several operations concurrently; returns their results.
+
+        The first failure propagates annotated with which branches failed
+        (see :func:`~repro.core.api.run_parallel`).
+        """
+        from .api import _annotate_parallel_failure
         procs = [self.engine.process(g) for g in generators]
         if not procs:
             return []
-        self.engine.run(until=self.engine.all_of(procs))
+        try:
+            self.engine.run(until=self.engine.all_of(procs))
+        except Exception as exc:
+            _annotate_parallel_failure(exc, procs)
+            raise
         return [p.value for p in procs]
 
     def sleep(self, seconds: float) -> None:

@@ -62,7 +62,7 @@ class QRResult:
 
 def qr_factorize(engine: Engine, cpu: CPUSpec, accelerators: _t.Sequence[_t.Any],
                  n: int, nb: int = 128, A: np.ndarray | None = None,
-                 lookahead: bool = False):
+                 lookahead: bool = False, streams: bool = False):
     """Factor an n x n matrix on the given accelerators (generator).
 
     ``accelerators`` are Remote- or LocalAccelerator front-ends.  Passing a
@@ -76,6 +76,11 @@ def qr_factorize(engine: Engine, cpu: CPUSpec, accelerators: _t.Sequence[_t.Any]
     factored on the CPU **while** the GPUs update the remaining trailing
     panels — hiding the panel factorization and its transfers behind the
     bulk dlarfb work.
+
+    With ``streams=True`` the control sequences (setup allocations, the
+    per-GPU dlarfb launch chains, teardown frees) go through asynchronous
+    command streams, coalescing consecutive control ops into BATCH frames
+    — identical numerics, fewer request round trips.
     """
     real = A is not None
     if real and A.shape != (n, n):
@@ -86,33 +91,74 @@ def qr_factorize(engine: Engine, cpu: CPUSpec, accelerators: _t.Sequence[_t.Any]
     dist = BlockCyclic(n, nb, g)
 
     # -- setup: kernels, workspaces, panel distribution (untimed) --------
-    for ac in accelerators:
-        yield from ac.kernel_create("qr_larfb")
-    v_buf = []
-    t_buf = []
-    for ac in accelerators:
-        v_buf.append((yield from ac.mem_alloc(n * nb * 8)))
-        t_buf.append((yield from ac.mem_alloc(nb * nb * 8)))
+    def panel_payload(j: int, w: int) -> _t.Any:
+        return (np.ascontiguousarray(A[:, dist.cols(j)]) if real
+                else Phantom(n * w * 8))
+
     panel_ptr: dict[int, int] = {}
-    for j in range(dist.n_panels):
-        w = dist.width(j)
-        ac = accelerators[dist.owner(j)]
-        ptr = yield from ac.mem_alloc(n * w * 8)
-        payload: _t.Any = (np.ascontiguousarray(A[:, dist.cols(j)]) if real
-                           else Phantom(n * w * 8))
-        yield from ac.memcpy_h2d(ptr, payload)
-        panel_ptr[j] = ptr
+    if streams:
+        st = [ac.stream(name=f"qr-ac{i}")
+              for i, ac in enumerate(accelerators)]
+        for s in st:
+            s.kernel_create("qr_larfb")
+        v_fut = [s.mem_alloc(n * nb * 8) for s in st]
+        t_fut = [s.mem_alloc(nb * nb * 8) for s in st]
+        panel_fut = {}
+        for j in range(dist.n_panels):
+            w = dist.width(j)
+            i = dist.owner(j)
+            ptr = st[i].mem_alloc(n * w * 8)
+            st[i].memcpy_h2d(ptr, panel_payload(j, w))
+            panel_fut[j] = ptr
+        for s in st:
+            yield from s.synchronize()
+        v_buf = [f.result() for f in v_fut]
+        t_buf = [f.result() for f in t_fut]
+        panel_ptr = {j: f.result() for j, f in panel_fut.items()}
+    else:
+        st = None
+        for ac in accelerators:
+            yield from ac.kernel_create("qr_larfb")
+        v_buf = []
+        t_buf = []
+        for ac in accelerators:
+            v_buf.append((yield from ac.mem_alloc(n * nb * 8)))
+            t_buf.append((yield from ac.mem_alloc(nb * nb * 8)))
+        for j in range(dist.n_panels):
+            w = dist.width(j)
+            ac = accelerators[dist.owner(j)]
+            ptr = yield from ac.mem_alloc(n * w * 8)
+            yield from ac.memcpy_h2d(ptr, panel_payload(j, w))
+            panel_ptr[j] = ptr
 
     R = np.zeros((n, n)) if real else None
     reflectors: list[tuple[int, np.ndarray, np.ndarray]] = []
 
+    def larfb_params(i: int, j: int, k0: int, w: int) -> dict:
+        return {"V": v_buf[i], "T": t_buf[i], "panel": panel_ptr[j],
+                "n": n, "wk": w, "wj": dist.width(j), "k0": k0}
+
     def larfb(i: int, j: int, k0: int, w: int):
         """Apply the current block reflector to trailing panel j on GPU i."""
         yield from accelerators[i].kernel_run(
-            "qr_larfb",
-            {"V": v_buf[i], "T": t_buf[i], "panel": panel_ptr[j],
-             "n": n, "wk": w, "wj": dist.width(j), "k0": k0},
-            real=real)
+            "qr_larfb", larfb_params(i, j, k0, w), real=real)
+
+    def streamed_updates(k: int, k0: int, w: int,
+                         targets: _t.Sequence[int], skip: int | None = None):
+        """Queue every trailing dlarfb on per-GPU streams, then wait.
+
+        Consecutive launches on one GPU coalesce into BATCH frames; the
+        per-GPU streams run concurrently, like ``run_parallel`` does for
+        the sync path.
+        """
+        for i in targets:
+            for j in dist.trailing_panels_of(i, k):
+                if j == skip:
+                    continue
+                st[i].kernel_run("qr_larfb", larfb_params(i, j, k0, w),
+                                 real=real)
+        for i in targets:
+            yield from st[i].synchronize()
 
     # -- the factorization loop (timed) ----------------------------------
     t0 = engine.now
@@ -183,9 +229,13 @@ def qr_factorize(engine: Engine, cpu: CPUSpec, accelerators: _t.Sequence[_t.Any]
                         continue
                     yield from larfb(i, j, k0, w)
 
+            rest = ([streamed_updates(k, k0, w, targets, skip=nxt)] if streams
+                    else [update_rest(i) for i in targets])
             results = yield from run_parallel(
-                engine, [panel_path()] + [update_rest(i) for i in targets])
+                engine, [panel_path()] + rest)
             pending = (nxt, results[0])
+        elif streams:
+            yield from streamed_updates(k, k0, w, targets)
         else:
             def update(i):
                 for j in dist.trailing_panels_of(i, k):
@@ -195,11 +245,20 @@ def qr_factorize(engine: Engine, cpu: CPUSpec, accelerators: _t.Sequence[_t.Any]
     seconds = engine.now - t0
 
     # -- teardown (untimed) ----------------------------------------------
-    for j, ptr in panel_ptr.items():
-        yield from accelerators[dist.owner(j)].mem_free(ptr)
-    for i, ac in enumerate(accelerators):
-        yield from ac.mem_free(v_buf[i])
-        yield from ac.mem_free(t_buf[i])
+    if streams:
+        for j, ptr in panel_ptr.items():
+            st[dist.owner(j)].mem_free(ptr)
+        for i in range(g):
+            st[i].mem_free(v_buf[i])
+            st[i].mem_free(t_buf[i])
+        for s in st:
+            yield from s.synchronize()
+    else:
+        for j, ptr in panel_ptr.items():
+            yield from accelerators[dist.owner(j)].mem_free(ptr)
+        for i, ac in enumerate(accelerators):
+            yield from ac.mem_free(v_buf[i])
+            yield from ac.mem_free(t_buf[i])
 
     return QRResult(n=n, nb=nb, n_gpus=g, seconds=seconds, real=real,
                     lookahead=lookahead, R=R, reflectors=reflectors)

@@ -71,6 +71,7 @@ class TestCli:
             "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
             "ext_tcp", "ext_blocksize", "ext_utilization", "ext_contention",
             "ext_faults", "ext_gpudirect", "ext_lookahead", "ext_batch",
+            "ext_async",
         }
 
     def test_list(self):

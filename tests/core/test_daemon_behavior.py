@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, paper_testbed
-from repro.core import NAIVE_TRANSFER, pipeline
+from repro.core import (
+    NAIVE_TRANSFER,
+    Op,
+    Request,
+    TAG_REQUEST,
+    next_request_id,
+    pipeline,
+    reply_tag,
+)
+from repro.core.daemon import DEDUP_CACHE_SIZE
 from repro.mpisim import Phantom
 from repro.units import KiB, MiB
 
@@ -149,3 +158,64 @@ class TestArmConcurrency:
         procs = [eng.process(client_job(cn)) for cn in range(4)]
         eng.run(until=eng.all_of(procs))
         assert sorted(served) == [0, 1, 2, 3]
+
+
+class TestDedupCacheEviction:
+    """The at-most-once cache is bounded FIFO; eviction trades safety for
+    memory, so both sides of the boundary need pinning down."""
+
+    def _exchange(self, cluster, ac, req_id, attempt, nbytes=64):
+        rank = cluster.compute_rank(0)
+
+        def body():
+            req = Request(op=Op.MEM_ALLOC, req_id=req_id, reply_to=0,
+                          params={"nbytes": nbytes}, attempt=attempt)
+            rreq = rank.irecv(source=ac.handle.daemon_rank,
+                              tag=reply_tag(req_id))
+            rank.isend(ac.handle.daemon_rank, TAG_REQUEST, req)
+            yield rreq.done
+            return rreq.message.payload
+
+        return body()
+
+    def test_recent_duplicate_replays_old_duplicate_reexecutes(self, rig):
+        cluster, sess, acs = rig
+        ac = acs[0]
+        daemon = cluster.daemons[ac.handle.ac_id]
+
+        first_id = next_request_id()
+        first = sess.call(self._exchange(cluster, ac, first_id, attempt=0))
+        assert first.ok
+
+        # Fill the cache with enough newer entries to push first_id out.
+        last_id = None
+        for _ in range(DEDUP_CACHE_SIZE):
+            last_id = next_request_id()
+            sess.call(self._exchange(cluster, ac, last_id, attempt=0))
+        assert len(daemon._dedup) == DEDUP_CACHE_SIZE
+        assert first_id not in daemon._dedup
+        assert last_id in daemon._dedup
+
+        # A duplicate of a *recent* request is replayed, not re-run.
+        used = daemon.gpu.memory.used_bytes
+        hits = daemon.stats.dedup_hits
+        replay = sess.call(self._exchange(cluster, ac, last_id, attempt=1))
+        assert replay.ok
+        assert daemon.stats.dedup_hits == hits + 1
+        assert daemon.gpu.memory.used_bytes == used
+
+        # A duplicate of the *evicted* request falls off the at-most-once
+        # guarantee: the daemon re-executes and hands out a fresh address.
+        rerun = sess.call(self._exchange(cluster, ac, first_id, attempt=1))
+        assert rerun.ok
+        assert rerun.value != first.value
+        assert daemon.stats.dedup_hits == hits + 1
+        assert daemon.gpu.memory.used_bytes == used + 64
+
+    def test_cache_never_exceeds_bound(self, rig):
+        cluster, sess, acs = rig
+        ac = acs[0]
+        daemon = cluster.daemons[ac.handle.ac_id]
+        for _ in range(DEDUP_CACHE_SIZE + 7):
+            sess.call(self._exchange(cluster, ac, next_request_id(), attempt=0))
+        assert len(daemon._dedup) == DEDUP_CACHE_SIZE

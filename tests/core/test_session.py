@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import SyncSession
-from repro.errors import SimulationError
+from repro.core.api import run_parallel
+from repro.errors import RequestTimeout, SimulationError
 from repro.sim import Engine
 
 
@@ -66,3 +67,113 @@ class TestSyncSession:
 
         with pytest.raises(SimulationError, match="deadlock"):
             sess.call(stuck())
+
+
+class TestCallDeadline:
+    def test_call_within_deadline_returns_value(self, eng, sess):
+        def op():
+            yield eng.timeout(1.0)
+            return "ok"
+
+        assert sess.call(op(), timeout_s=2.0) == "ok"
+        assert sess.now == 1.0
+
+    def test_call_exceeding_deadline_raises(self, eng, sess):
+        def slow():
+            yield eng.timeout(10.0)
+            return "never"
+
+        with pytest.raises(RequestTimeout, match="deadline"):
+            sess.call(slow(), name="slow-op", timeout_s=2.0)
+        # The clock stopped at the deadline, not at the op's finish time.
+        assert sess.now == pytest.approx(2.0)
+
+    def test_expired_call_is_interrupted_not_leaked(self, eng, sess):
+        cleaned = []
+
+        def slow():
+            try:
+                yield eng.timeout(10.0)
+            finally:
+                cleaned.append(True)
+
+        with pytest.raises(RequestTimeout):
+            sess.call(slow(), timeout_s=1.0)
+        assert cleaned == [True]
+        # The engine stays usable after the interrupt.
+        def op():
+            yield eng.timeout(0.5)
+            return 7
+
+        assert sess.call(op()) == 7
+
+    def test_failure_before_deadline_propagates(self, eng, sess):
+        def bad():
+            yield eng.timeout(0.1)
+            raise ValueError("inner failure")
+
+        with pytest.raises(ValueError, match="inner failure"):
+            sess.call(bad(), timeout_s=5.0)
+
+
+class TestParallelExceptionContext:
+    def _branch(self, eng, delay, exc=None, value=None):
+        def body():
+            yield eng.timeout(delay)
+            if exc is not None:
+                raise exc
+            return value
+        return body()
+
+    def test_parallel_names_failed_branch(self, eng, sess):
+        with pytest.raises(ValueError) as ei:
+            sess.parallel([
+                self._branch(eng, 1.0, value="a"),
+                self._branch(eng, 0.5, exc=ValueError("branch blew up")),
+            ])
+        notes = "".join(getattr(ei.value, "__notes__", [])) or str(ei.value)
+        assert "run_parallel" in notes
+        assert "branch 1" in notes
+
+    def test_parallel_reports_multiple_failures(self, eng, sess):
+        """The second failure used to vanish; now both are in the note."""
+        with pytest.raises(ValueError) as ei:
+            sess.parallel([
+                self._branch(eng, 0.5, exc=ValueError("first")),
+                self._branch(eng, 0.5, exc=KeyError("second")),
+            ])
+        notes = "".join(getattr(ei.value, "__notes__", [])) or str(ei.value)
+        assert "first" in notes
+        # Branches fail at the same instant; by the time the failure
+        # surfaces, both are recorded instead of silently dropping one.
+        assert "branch 0" in notes
+
+    def test_run_parallel_generator_annotates_too(self, eng, sess):
+        def driver():
+            results = yield from run_parallel(eng, [
+                self._branch(eng, 0.2, value=1),
+                self._branch(eng, 0.1, exc=RuntimeError("dead gpu")),
+            ])
+            return results
+
+        with pytest.raises(RuntimeError) as ei:
+            sess.call(driver())
+        notes = "".join(getattr(ei.value, "__notes__", [])) or str(ei.value)
+        assert "branch 1" in notes and "dead gpu" in notes
+
+    def test_parallel_success_unchanged(self, eng, sess):
+        results = sess.parallel([
+            self._branch(eng, 0.2, value="x"),
+            self._branch(eng, 0.1, value="y"),
+        ])
+        assert results == ["x", "y"]
+
+    def test_pre_yield_failure_is_annotated(self, eng, sess):
+        def bad():
+            raise LookupError("failed before first yield")
+            yield  # pragma: no cover
+
+        with pytest.raises(LookupError) as ei:
+            sess.parallel([self._branch(eng, 0.1, value=1), bad()])
+        notes = "".join(getattr(ei.value, "__notes__", [])) or str(ei.value)
+        assert "branch 1" in notes

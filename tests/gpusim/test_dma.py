@@ -1,0 +1,106 @@
+"""Focused DMA tests: copy/compute overlap and utilization accounting."""
+
+import pytest
+
+from repro.gpusim import DMAEngine, GPUDevice, PCIE_GEN2_X16, TESLA_C1060
+from repro.sim import Engine
+from repro.units import MiB
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def dev(eng):
+    return GPUDevice(eng, TESLA_C1060)
+
+
+GEMM = {"A": 0, "B": 0, "C": 0, "m": 2048, "n": 2048, "k": 2048}
+
+
+class TestCopyComputeOverlap:
+    def test_copy_overlaps_kernel_execution(self, eng, dev):
+        """DMA and compute are independent resources: total time is the
+        max of the two, not the sum (the pipeline protocol's premise)."""
+        copy_s = PCIE_GEN2_X16.copy_time(64 * MiB, pinned=True)
+        kern_s = (dev.spec.launch_overhead_s
+                  + dev.registry.get("dgemm").cost(GEMM, dev.spec))
+
+        def proc():
+            c = dev.dma.copy(64 * MiB)
+            k = dev.launch("dgemm", GEMM, real=False)
+            yield eng.all_of([c, k])
+            return eng.now
+
+        total = eng.run(until=eng.process(proc()))
+        assert total == pytest.approx(max(copy_s, kern_s))
+        assert total < copy_s + kern_s
+
+    def test_serialized_baseline_is_the_sum(self, eng, dev):
+        copy_s = PCIE_GEN2_X16.copy_time(64 * MiB, pinned=True)
+        kern_s = (dev.spec.launch_overhead_s
+                  + dev.registry.get("dgemm").cost(GEMM, dev.spec))
+
+        def proc():
+            yield dev.dma.copy(64 * MiB)
+            yield dev.launch("dgemm", GEMM, real=False)
+            return eng.now
+
+        total = eng.run(until=eng.process(proc()))
+        assert total == pytest.approx(copy_s + kern_s)
+
+    def test_overlapped_copies_still_serialize_on_the_engine(self, eng, dev):
+        """Two concurrent copies share the single copy engine."""
+        one = PCIE_GEN2_X16.copy_time(8 * MiB, pinned=True)
+
+        def proc():
+            a = dev.dma.copy(8 * MiB)
+            b = dev.dma.copy(8 * MiB)
+            yield eng.all_of([a, b])
+            return eng.now
+
+        assert eng.run(until=eng.process(proc())) == pytest.approx(2 * one)
+
+
+class TestBusyTimeAccounting:
+    def test_busy_time_counts_transfer_only_not_queueing(self, eng):
+        """A copy queued behind another accrues busy time for its own
+        duration only — utilization must never exceed 100%."""
+        dma = DMAEngine(eng, PCIE_GEN2_X16)
+        one = PCIE_GEN2_X16.copy_time(4 * MiB, pinned=True)
+
+        def proc():
+            evs = [dma.copy(4 * MiB) for _ in range(3)]
+            yield eng.all_of(evs)
+            return eng.now
+
+        elapsed = eng.run(until=eng.process(proc()))
+        assert dma.busy_time == pytest.approx(3 * one)
+        assert dma.busy_time <= elapsed + 1e-12
+        assert dma.transfers == 3
+        assert dma.bytes_copied == 3 * 4 * MiB
+
+    def test_pinned_and_pageable_accrue_their_own_costs(self, eng):
+        dma = DMAEngine(eng, PCIE_GEN2_X16)
+
+        def proc():
+            yield dma.copy(MiB, pinned=True)
+            yield dma.copy(MiB, pinned=False)
+
+        eng.run(until=eng.process(proc()))
+        want = (PCIE_GEN2_X16.copy_time(MiB, True)
+                + PCIE_GEN2_X16.copy_time(MiB, False))
+        assert dma.busy_time == pytest.approx(want)
+
+    def test_zero_byte_copy_counts_setup_only(self, eng):
+        dma = DMAEngine(eng, PCIE_GEN2_X16)
+
+        def proc():
+            yield dma.copy(0)
+
+        eng.run(until=eng.process(proc()))
+        assert dma.busy_time == pytest.approx(PCIE_GEN2_X16.dma_setup_s)
+        assert dma.bytes_copied == 0
+        assert dma.transfers == 1

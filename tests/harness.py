@@ -1,0 +1,305 @@
+"""Deterministic-simulation test harness.
+
+Runs one randomly generated accelerator program — a seeded sequence of
+alloc / upload / kernel / download / free instructions — through three
+independent execution paths:
+
+* the synchronous ``ac*`` API on a :class:`RemoteAccelerator`,
+* the asynchronous :class:`~repro.core.stream.Stream` API (BATCH
+  coalescing) on a :class:`RemoteAccelerator`,
+* the node-attached :class:`~repro.baselines.local.LocalAccelerator`
+  baseline (no network at all),
+
+and returns, per path, the downloaded result arrays plus the virtual-time
+event trace.  The three paths must produce **bit-identical** numerics
+(they execute the same float ops in the same order), every trace must be
+monotone in virtual time, and re-running the same seed must reproduce the
+same trace bit for bit — the oracle future performance PRs are tested
+against: an optimization may change *times*, never *values* or
+determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.cluster import Cluster, paper_testbed
+
+#: Element counts the generator draws from.  A small set keeps it likely
+#: that two live buffers share a length, which daxpy needs.
+SIZES = (16, 32, 64, 128)
+
+#: Kernels a generated program may launch.
+KERNELS = ("dscal", "daxpy", "fill")
+
+
+@dataclasses.dataclass(frozen=True)
+class Instr:
+    """One abstract instruction; ``args`` depend on ``op``.
+
+    ===========  ===========================================
+    op           args
+    ===========  ===========================================
+    ``alloc``    (buf, n)        — n float64 elements
+    ``h2d``      (buf, data)     — upload the given array
+    ``dscal``    (buf, alpha)
+    ``daxpy``    (src, dst, alpha) — dst += alpha * src
+    ``fill``     (buf, value)
+    ``d2h``      (buf,)          — download + record result
+    ``free``     (buf,)
+    ===========  ===========================================
+    """
+
+    op: str
+    args: tuple
+
+
+def generate_program(seed: int, n_ops: int = 40) -> list[Instr]:
+    """A random but well-formed program (every touched buffer is live).
+
+    The generator is pure in ``seed``: equal seeds give equal programs.
+    Every program ends by downloading and freeing all live buffers, so
+    each run yields at least one result to compare.
+    """
+    rng = np.random.default_rng(seed)
+    prog: list[Instr] = []
+    live: dict[int, int] = {}  # buf id -> length
+    next_buf = 0
+
+    def alloc():
+        nonlocal next_buf
+        buf, n = next_buf, int(rng.choice(SIZES))
+        next_buf += 1
+        live[buf] = n
+        prog.append(Instr("alloc", (buf, n)))
+        prog.append(Instr("h2d", (buf, rng.standard_normal(n))))
+        return buf
+
+    alloc()  # never start with an empty working set
+    for _ in range(n_ops):
+        choice = rng.random()
+        if choice < 0.2 or not live:
+            alloc()
+        elif choice < 0.5:
+            buf = int(rng.choice(sorted(live)))
+            kind = rng.choice(KERNELS)
+            if kind == "dscal":
+                prog.append(Instr("dscal", (buf, float(rng.uniform(0.5, 2.0)))))
+            elif kind == "fill":
+                prog.append(Instr("fill", (buf, float(rng.normal()))))
+            else:
+                peers = [b for b, n in live.items() if n == live[buf] and b != buf]
+                if peers:
+                    src = int(rng.choice(sorted(peers)))
+                    prog.append(Instr("daxpy",
+                                      (src, buf, float(rng.uniform(-1, 1)))))
+                else:
+                    prog.append(Instr("dscal", (buf, float(rng.uniform(0.5, 2.0)))))
+        elif choice < 0.7:
+            buf = int(rng.choice(sorted(live)))
+            prog.append(Instr("h2d", (buf, rng.standard_normal(live[buf]))))
+        elif choice < 0.85:
+            buf = int(rng.choice(sorted(live)))
+            prog.append(Instr("d2h", (buf,)))
+        elif len(live) > 1:
+            buf = int(rng.choice(sorted(live)))
+            prog.append(Instr("d2h", (buf,)))
+            prog.append(Instr("free", (buf,)))
+            del live[buf]
+        else:
+            alloc()
+    for buf in sorted(live):
+        prog.append(Instr("d2h", (buf,)))
+        prog.append(Instr("free", (buf,)))
+    return prog
+
+
+def expected_results(program: list[Instr]) -> list[np.ndarray]:
+    """Evaluate the program on plain host arrays (the numeric oracle)."""
+    bufs: dict[int, np.ndarray] = {}
+    results: list[np.ndarray] = []
+    for ins in program:
+        if ins.op == "alloc":
+            buf, n = ins.args
+            bufs[buf] = np.zeros(n)
+        elif ins.op == "h2d":
+            buf, data = ins.args
+            bufs[buf] = data.copy()
+        elif ins.op == "dscal":
+            buf, alpha = ins.args
+            bufs[buf] *= alpha
+        elif ins.op == "daxpy":
+            src, dst, alpha = ins.args
+            bufs[dst] += alpha * bufs[src]
+        elif ins.op == "fill":
+            buf, value = ins.args
+            bufs[buf][:] = value
+        elif ins.op == "d2h":
+            results.append(bufs[ins.args[0]].copy())
+        elif ins.op == "free":
+            del bufs[ins.args[0]]
+    return results
+
+
+def _kernel_params(ins: Instr, addr: _t.Callable[[int], _t.Any],
+                   lengths: dict[int, int]) -> tuple[str, dict]:
+    """Wire name + params for a kernel instruction.
+
+    ``addr`` maps a buffer id to its device address — or to its alloc
+    *future* in the stream path, exercising nested future resolution.
+    """
+    if ins.op == "dscal":
+        buf, alpha = ins.args
+        return "dscal", {"x": addr(buf), "n": lengths[buf], "alpha": alpha}
+    if ins.op == "daxpy":
+        src, dst, alpha = ins.args
+        return "daxpy", {"x": addr(src), "y": addr(dst),
+                         "n": lengths[dst], "alpha": alpha}
+    buf, value = ins.args
+    return "fill", {"dst": addr(buf), "n": lengths[buf], "value": value}
+
+
+@dataclasses.dataclass
+class RunOutcome:
+    """What one execution path produced."""
+
+    results: list[np.ndarray]
+    trace: list[tuple[float, str]]
+
+    def assert_monotonic(self) -> None:
+        times = [t for t, _ in self.trace]
+        assert times == sorted(times), "virtual-time trace went backwards"
+        assert all(t >= 0 for t in times)
+
+
+def run_sync(engine, ac, program: list[Instr]):
+    """Drive the program through the synchronous ``ac*`` API (generator)."""
+    addrs: dict[int, int] = {}
+    lengths: dict[int, int] = {}
+    results: list[np.ndarray] = []
+    trace: list[tuple[float, str]] = []
+    for name in KERNELS:
+        yield from ac.kernel_create(name)
+    for ins in program:
+        if ins.op == "alloc":
+            buf, n = ins.args
+            lengths[buf] = n
+            addrs[buf] = yield from ac.mem_alloc(n * 8)
+        elif ins.op == "h2d":
+            buf, data = ins.args
+            yield from ac.memcpy_h2d(addrs[buf], data)
+        elif ins.op in ("dscal", "daxpy", "fill"):
+            name, params = _kernel_params(ins, addrs.__getitem__, lengths)
+            yield from ac.kernel_run(name, params)
+        elif ins.op == "d2h":
+            buf = ins.args[0]
+            out = yield from ac.memcpy_d2h(addrs[buf], lengths[buf] * 8)
+            results.append(np.asarray(out, dtype=np.float64).copy())
+        elif ins.op == "free":
+            yield from ac.mem_free(addrs.pop(ins.args[0]))
+        trace.append((engine.now, ins.op))
+    return RunOutcome(results, trace)
+
+
+def run_stream(engine, ac, program: list[Instr], sync_every: int = 0):
+    """Drive the program through one command stream (generator).
+
+    Buffer addresses stay *futures* throughout — kernel parameters and
+    copy targets reference them unresolved, and the stream pump resolves
+    them in order.  ``sync_every > 0`` inserts periodic synchronization
+    barriers, exercising pump restarts.
+    """
+    stream = ac.stream()
+    addrs: dict[int, _t.Any] = {}
+    lengths: dict[int, int] = {}
+    futures: list = []
+    trace: list[tuple[float, str]] = []
+    for name in KERNELS:
+        stream.kernel_create(name)
+    for i, ins in enumerate(program):
+        if ins.op == "alloc":
+            buf, n = ins.args
+            lengths[buf] = n
+            addrs[buf] = stream.mem_alloc(n * 8)
+        elif ins.op == "h2d":
+            buf, data = ins.args
+            stream.memcpy_h2d(addrs[buf], data)
+        elif ins.op in ("dscal", "daxpy", "fill"):
+            name, params = _kernel_params(ins, addrs.__getitem__, lengths)
+            stream.kernel_run(name, params)
+        elif ins.op == "d2h":
+            buf = ins.args[0]
+            futures.append(stream.memcpy_d2h(addrs[buf], lengths[buf] * 8))
+        elif ins.op == "free":
+            stream.mem_free(addrs.pop(ins.args[0]))
+        if sync_every and (i + 1) % sync_every == 0:
+            yield from stream.synchronize()
+            trace.append((engine.now, f"sync@{i + 1}"))
+    yield from stream.synchronize()
+    trace.append((engine.now, "sync"))
+    results = [np.asarray(f.result(), dtype=np.float64).copy()
+               for f in futures]
+    return RunOutcome(results, trace), stream
+
+
+def make_remote_rig():
+    """A fresh 1-CN/1-AC cluster with a RemoteAccelerator front-end."""
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=1))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    return cluster, sess, cluster.remote(0, handles[0])
+
+
+def make_local_rig():
+    """A fresh engine with a node-attached LocalAccelerator."""
+    from repro.baselines import LocalAccelerator
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=0,
+                                    local_gpus=True))
+    node = cluster.compute_nodes[0]
+    local = LocalAccelerator(cluster.engine, node.local_gpu, node.cpu)
+    return cluster, cluster.session(), local
+
+
+def run_all_paths(seed: int, n_ops: int = 40):
+    """Execute one seeded program on all three paths.
+
+    Returns ``(expected, outcomes)`` where ``outcomes`` maps path name to
+    :class:`RunOutcome` (the stream path also reports its stream for
+    round-trip accounting).
+    """
+    program = generate_program(seed, n_ops)
+    expected = expected_results(program)
+    outcomes: dict[str, RunOutcome] = {}
+
+    cluster, sess, ac = make_remote_rig()
+    outcomes["sync"] = sess.call(run_sync(cluster.engine, ac, program))
+
+    cluster_s, sess_s, ac_s = make_remote_rig()
+
+    def stream_prog():
+        out, stream = yield from run_stream(cluster_s.engine, ac_s, program)
+        return out, stream
+
+    outcomes["stream"], stream = sess_s.call(stream_prog())
+
+    cluster_l, sess_l, ac_l = make_local_rig()
+    outcomes["local"] = sess_l.call(run_sync(cluster_l.engine, ac_l, program))
+
+    return expected, outcomes, stream
+
+
+def assert_equivalent(expected: list[np.ndarray],
+                      outcomes: dict[str, RunOutcome]) -> None:
+    """All paths bit-identical to each other and to the host oracle."""
+    for name, out in outcomes.items():
+        assert len(out.results) == len(expected), (
+            f"{name}: {len(out.results)} results, expected {len(expected)}")
+        for i, (got, want) in enumerate(zip(out.results, expected)):
+            assert got.shape == want.shape, f"{name}[{i}]: shape mismatch"
+            assert (got == want).all(), (
+                f"{name}[{i}]: numerics diverged "
+                f"(max |delta| = {np.abs(got - want).max()})")
+        out.assert_monotonic()

@@ -124,6 +124,17 @@ class TestFabricContention:
         assert t1.delivered.processed and t2.delivered.processed
         assert eng.now == pytest.approx(1.0015, rel=0.01)
 
+    def test_incast_scales_with_sender_count(self, eng):
+        # k senders converging on one receiver drain in ~k x single time:
+        # the receiver's RX share is the bottleneck, not the senders.
+        f = Fabric(eng, SIMPLE)
+        for n in "abcdz":
+            f.add_endpoint(n)
+        txs = [f.transfer(src, "z", 1000) for src in "abcd"]
+        eng.run()
+        assert all(t.delivered.processed for t in txs)
+        assert eng.now == pytest.approx(4.0 + 0.0005 + 0.001, rel=0.01)
+
     def test_nic_injection_serialized(self, eng, fabric):
         # 100 zero-byte messages from the same NIC: injections serialize.
         txs = [fabric.transfer("a", "b", 0) for _ in range(100)]

@@ -50,3 +50,49 @@ class TestLink:
     def test_negative_size(self, link):
         with pytest.raises(NetworkError):
             link.transfer("ab", -5)
+
+
+class TestLinkContention:
+    """Fair-share semantics of a congested link direction."""
+
+    def test_n_way_sharing_scales_linearly(self, eng, link):
+        done = [link.transfer("ab", 1000) for _ in range(4)]
+        eng.run(until=eng.all_of(done))
+        # 4000 B through a 1000 B/s pipe; overheads paid concurrently.
+        assert eng.now == pytest.approx(4.0 + 0.0005 + 0.001, rel=0.01)
+
+    def test_short_flow_shares_instead_of_queueing(self, eng, link):
+        long = link.transfer("ab", 3000)
+        short = link.transfer("ab", 300)
+        eng.run(until=short)
+        # At 500 B/s each, the short flow's 300 B drain in 0.6 s — far
+        # sooner than if it had to wait behind the 3000 B transfer.
+        assert eng.now == pytest.approx(0.0005 + 0.6 + 0.001, rel=0.01)
+        eng.run(until=long)
+        # Bandwidth is conserved: the long flow still finishes when all
+        # 3300 B have crossed the wire, no earlier.
+        assert eng.now == pytest.approx(0.0005 + 3.3 + 0.001, rel=0.01)
+
+    def test_late_joiner_slows_in_flight_transfer(self, eng, link):
+        first = link.transfer("ab", 2000)
+        second_done = []
+
+        def late():
+            yield eng.timeout(1.0)
+            second_done.append(link.transfer("ab", 1000))
+
+        eng.process(late())
+        eng.run(until=first)
+        # First half drains at 1000 B/s; once the second flow joins, the
+        # remaining 1000 B proceed at 500 B/s -> ~2 more seconds.
+        assert eng.now == pytest.approx(0.0005 + 1.0 + 2.0 + 0.001, rel=0.01)
+        eng.run(until=second_done[0])
+        assert eng.now == pytest.approx(1.0 + 0.0005 + 2.0 + 0.001, rel=0.01)
+
+    def test_reverse_direction_unaffected_by_congestion(self, eng, link):
+        for _ in range(4):
+            link.transfer("ab", 1000)
+        rev = link.transfer("ba", 1000)
+        eng.run(until=rev)
+        # Full duplex: heavy forward traffic costs the reverse flow nothing.
+        assert eng.now == pytest.approx(1.0015, rel=0.01)
