@@ -5,6 +5,14 @@ Usage::
     python -m repro list
     python -m repro run fig05 [--quick] [--json out.json] [--no-check]
     python -m repro run all --quick
+    python -m repro trace fig05 [--quick] [--out trace.json] [--timeline]
+                                [--check-identity]
+
+``trace`` runs one experiment with span tracing enabled and exports the
+result as Chrome trace-event JSON (load it in ``chrome://tracing`` or
+https://ui.perfetto.dev) and/or an ASCII timeline.  ``--check-identity``
+re-runs the experiment untraced and asserts both produce identical
+numbers — tracing must never perturb virtual time.
 """
 
 from __future__ import annotations
@@ -66,6 +74,42 @@ def run_experiment(name: str, quick: bool = False, check: bool = True,
         out.write(f"{fig.fig_id}: shape check passed\n")
 
 
+def trace_experiment(name: str, quick: bool = False,
+                     out_path: str | None = None, timeline: bool = False,
+                     check_identity: bool = False,
+                     out: _t.TextIO | None = None) -> None:
+    """Run one experiment traced; export and validate the Chrome trace."""
+    from ..obs import trace_session, validate_chrome_trace
+    out = out if out is not None else sys.stdout
+    mod = EXPERIMENTS.get(name)
+    if mod is None:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try: {', '.join(sorted(EXPERIMENTS))}")
+    with trace_session() as session:
+        fig = mod.run(quick=quick)
+    out.write(fig.render() + "\n")
+    out.write(f"traced {session.span_count()} spans across "
+              f"{len(session.collectors)} engine(s)\n")
+    trace = session.to_chrome_trace()
+    validate_chrome_trace(trace)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(trace, fh, indent=1)
+        out.write(f"chrome trace written to {out_path} "
+                  f"({len(trace['traceEvents'])} events; open in "
+                  f"chrome://tracing or ui.perfetto.dev)\n")
+    if timeline:
+        out.write(session.render_timeline() + "\n")
+    if check_identity:
+        untraced = mod.run(quick=quick)
+        if fig.to_dict() != untraced.to_dict():
+            raise SystemExit(
+                f"{name}: traced and untraced runs diverged — tracing "
+                f"perturbed the virtual timeline")
+        out.write("identity check passed: traced run is bit-identical "
+                  "to the untraced run\n")
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -81,10 +125,26 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                       help="also write the series as JSON")
     runp.add_argument("--no-check", action="store_true",
                       help="skip the qualitative shape assertions")
+    tracep = sub.add_parser(
+        "trace", help="run one experiment with span tracing on")
+    tracep.add_argument("experiment", help="fig05..fig11 or ext_*")
+    tracep.add_argument("--quick", action="store_true",
+                        help="coarser sweeps for a fast look")
+    tracep.add_argument("--out", dest="out_path", default=None,
+                        help="write Chrome trace-event JSON here")
+    tracep.add_argument("--timeline", action="store_true",
+                        help="print an ASCII span timeline")
+    tracep.add_argument("--check-identity", action="store_true",
+                        help="re-run untraced and assert identical results")
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
         list_experiments()
+        return 0
+    if args.cmd == "trace":
+        trace_experiment(args.experiment, quick=args.quick,
+                         out_path=args.out_path, timeline=args.timeline,
+                         check_identity=args.check_identity)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

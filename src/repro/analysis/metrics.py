@@ -5,6 +5,13 @@ daemon request/byte/staging statistics, fabric volume, ARM assignment
 time) into one :class:`ClusterReport` — the observability a site operator
 of the dynamic architecture would want, and the data source for the
 utilization arguments in the paper's Sect. III.
+
+:func:`collect` builds the report from a
+:class:`~repro.obs.MetricsRegistry` snapshot
+(:func:`~repro.obs.instrument_cluster`) rather than scraping component
+fields directly, so everything the report says is also available to
+external consumers through the registry — including the request-latency
+percentiles distilled from trace spans when tracing was on.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..obs.metrics import MetricsRegistry, instrument_cluster, latency_summary
 from ..units import fmt_size, fmt_time, mib_per_s
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +58,9 @@ class ClusterReport:
     fabric_bytes: int
     fabric_messages: int
     pool_utilization: float
+    #: The registry the report was built from; carries everything above
+    #: plus request-latency histograms when tracing was on.
+    registry: MetricsRegistry | None = None
 
     @property
     def total_offload_bytes(self) -> int:
@@ -84,33 +95,57 @@ class ClusterReport:
                 f"{a.kernels_launched} kernels, "
                 f"h2d {fmt_size(a.bytes_h2d)}, d2h {fmt_size(a.bytes_d2h)}, "
                 f"staging peak {fmt_size(a.staging_peak)}")
+        for op, summary in self.latency_percentiles().items():
+            lines.append(
+                f"  latency {op}: n={summary['count']:.0f} "
+                f"p50={fmt_time(summary['p50'])} "
+                f"p95={fmt_time(summary['p95'])} "
+                f"p99={fmt_time(summary['p99'])}")
         return "\n".join(lines)
 
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-op request-latency summaries (empty without tracing)."""
+        if self.registry is None:
+            return {}
+        return latency_summary(self.registry)
 
-def collect(cluster: "Cluster") -> ClusterReport:
-    """Build a :class:`ClusterReport` from a cluster's current state."""
+
+def collect(cluster: "Cluster",
+            registry: MetricsRegistry | None = None) -> ClusterReport:
+    """Build a :class:`ClusterReport` from a cluster's current state.
+
+    The numbers come out of a :class:`~repro.obs.MetricsRegistry`
+    populated by :func:`~repro.obs.instrument_cluster` (pass ``registry``
+    to reuse an existing snapshot), not from the components directly —
+    the registry is the single source the report, the CLI, and the tests
+    all read.
+    """
+    if registry is None:
+        registry = instrument_cluster(cluster)
     elapsed = cluster.engine.now
     snap = cluster.arm.snapshot()
     accelerators = []
-    for node, daemon in zip(cluster.accelerator_nodes, cluster.daemons):
+    for node in cluster.accelerator_nodes:
+        ac = f"ac{node.ac_id}"
         info = snap.get(node.ac_id, {})
         accelerators.append(AcceleratorMetrics(
             ac_id=node.ac_id,
             name=node.name,
             state=info.get("state", "unknown"),
-            assigned_seconds=info.get("assigned_seconds", 0.0),
-            gpu_busy_seconds=node.gpu.busy_time,
-            kernels_launched=node.gpu.kernels_launched,
-            dma_bytes=node.gpu.dma.bytes_copied,
-            daemon_requests=daemon.stats.requests,
-            bytes_h2d=daemon.stats.bytes_h2d,
-            bytes_d2h=daemon.stats.bytes_d2h,
-            staging_peak=daemon.stats.staging_peak,
+            assigned_seconds=registry.value("arm.assigned_seconds", ac=ac),
+            gpu_busy_seconds=registry.value("gpu.busy_seconds", ac=ac),
+            kernels_launched=int(registry.value("gpu.kernels", ac=ac)),
+            dma_bytes=int(registry.value("dma.bytes", ac=ac)),
+            daemon_requests=int(registry.value("daemon.requests", ac=ac)),
+            bytes_h2d=int(registry.value("bytes.h2d", ac=ac)),
+            bytes_d2h=int(registry.value("bytes.d2h", ac=ac)),
+            staging_peak=int(registry.gauge("staging.bytes", ac=ac).peak),
         ))
     return ClusterReport(
         elapsed=elapsed,
         accelerators=accelerators,
-        fabric_bytes=cluster.fabric.bytes_moved,
-        fabric_messages=cluster.fabric.messages_sent,
-        pool_utilization=cluster.arm.utilization(),
+        fabric_bytes=int(registry.value("fabric.bytes")),
+        fabric_messages=int(registry.value("fabric.messages")),
+        pool_utilization=registry.value("pool.utilization"),
+        registry=registry,
     )

@@ -1,10 +1,11 @@
 """The static-architecture baseline: a node-attached ("CUDA local") GPU.
 
-:class:`LocalAccelerator` exposes the same generator interface as
-:class:`~repro.core.api.RemoteAccelerator` but drives the compute node's own
-PCIe-attached GPU directly — no network, no daemon, exactly the "CUDA
-local" configuration of Figures 7-11.  Workloads written against the common
-interface can therefore be measured on either architecture unchanged.
+:class:`LocalAccelerator` conforms to the unified
+:class:`~repro.core.interface.AcceleratorAPI` but drives the compute
+node's own PCIe-attached GPU directly — no network, no daemon, exactly
+the "CUDA local" configuration of Figures 7-11.  Workloads written
+against the common interface can therefore be measured on either
+architecture unchanged.
 
 ``cudaMemcpy`` semantics follow the paper's measurement setup: *pinned*
 host memory moves via the GPU's DMA engine, *pageable* memory via CPU
@@ -20,12 +21,19 @@ import numpy as np
 from ..errors import MiddlewareError
 from ..gpusim import GPUDevice
 from ..mpisim import Phantom, payload_nbytes
+from ..obs.spans import collector_for
 from ..sim import Engine
 from ..cluster.specs import CPUSpec
+from ..core.interface import (
+    AcceleratorLifecycle,
+    reinterpret_legacy_pinned,
+    release_all,
+    unsupported,
+)
 from ..core.transfer import as_flat_bytes, payload_meta
 
 
-class LocalAccelerator:
+class LocalAccelerator(AcceleratorLifecycle):
     """Front-end-compatible driver for a node-attached GPU."""
 
     def __init__(self, engine: Engine, gpu: GPUDevice, cpu: CPUSpec,
@@ -35,60 +43,93 @@ class LocalAccelerator:
         self.cpu = cpu
         self.pinned = pinned
         self._kernels: dict[str, dict] = {}
+        self._live: dict[int, int] = {}
+        self._obs = collector_for(engine)
+        self._actor = f"local-{gpu.name}"
         self.bytes_h2d = 0
         self.bytes_d2h = 0
+
+    def _lifecycle_engine(self):
+        return self.engine
 
     # -- memory management ----------------------------------------------
     def mem_alloc(self, nbytes: int):
         """cudaMalloc: returns the device address (generator)."""
-        yield self.engine.timeout(self.cpu.malloc_s)
-        return self.gpu.memory.malloc(int(nbytes))
+        with self._obs.start("client.mem_alloc", self._actor,
+                             nbytes=int(nbytes)):
+            yield self.engine.timeout(self.cpu.malloc_s)
+            addr = self.gpu.memory.malloc(int(nbytes))
+            self._live[addr] = int(nbytes)
+            return addr
 
     def mem_free(self, addr: int):
         """cudaFree (generator)."""
-        yield self.engine.timeout(self.cpu.malloc_s)
-        self.gpu.memory.free(addr)
+        with self._obs.start("client.mem_free", self._actor, addr=addr):
+            yield self.engine.timeout(self.cpu.malloc_s)
+            self.gpu.memory.free(addr)
+            self._live.pop(addr, None)
+
+    def release(self):
+        """Free every live allocation this front-end made (generator)."""
+        yield from release_all(self, self._live)
 
     # -- data movement ----------------------------------------------------
-    def memcpy_h2d(self, dst: int, payload: _t.Any, pinned: bool | None = None,
-                   transfer: _t.Any = None, offset: int = 0):
+    def memcpy_h2d(self, dst: int, payload: _t.Any, transfer: _t.Any = None,
+                   offset: int = 0, pinned: bool | None = None):
         """cudaMemcpy host-to-device (generator).
 
         ``transfer`` is accepted for interface compatibility and ignored —
         a local copy has no network protocol.
         """
+        transfer, pinned = reinterpret_legacy_pinned(
+            transfer, pinned, "memcpy_h2d")
         nbytes = payload_nbytes(payload)
-        alloc = self.gpu.memory.allocation(dst)
-        if offset + nbytes > alloc.nbytes:
-            raise MiddlewareError(
-                f"copy of {nbytes}B at offset {offset} exceeds "
-                f"allocation of {alloc.nbytes}B")
-        yield self.gpu.dma.copy(nbytes, pinned=self.pinned if pinned is None else pinned)
-        flat = as_flat_bytes(payload)
-        if flat is not None:
-            self.gpu.memory.write(dst, offset, flat)
-            meta = payload_meta(payload)
-            if meta is not None and offset == 0 and nbytes == alloc.nbytes:
-                self.gpu.memory.set_array_meta(dst, meta[0], meta[1])
-        self.bytes_h2d += nbytes
+        with self._obs.start("client.memcpy_h2d", self._actor,
+                             nbytes=nbytes) as span:
+            alloc = self.gpu.memory.allocation(dst)
+            if offset + nbytes > alloc.nbytes:
+                raise MiddlewareError(
+                    f"copy of {nbytes}B at offset {offset} exceeds "
+                    f"allocation of {alloc.nbytes}B")
+            yield self.gpu.dma.copy(
+                nbytes, pinned=self.pinned if pinned is None else pinned,
+                ctx=span.context)
+            flat = as_flat_bytes(payload)
+            if flat is not None:
+                self.gpu.memory.write(dst, offset, flat)
+                meta = payload_meta(payload)
+                if meta is not None and offset == 0 and nbytes == alloc.nbytes:
+                    self.gpu.memory.set_array_meta(dst, meta[0], meta[1])
+            self.bytes_h2d += nbytes
 
-    def memcpy_d2h(self, src: int, nbytes: int, pinned: bool | None = None,
-                   transfer: _t.Any = None, offset: int = 0):
+    def memcpy_d2h(self, src: int, nbytes: int, transfer: _t.Any = None,
+                   offset: int = 0, pinned: bool | None = None):
         """cudaMemcpy device-to-host (generator)."""
-        alloc = self.gpu.memory.allocation(src)
+        transfer, pinned = reinterpret_legacy_pinned(
+            transfer, pinned, "memcpy_d2h")
         nbytes = int(nbytes)
-        if offset + nbytes > alloc.nbytes:
-            raise MiddlewareError(
-                f"copy of {nbytes}B at offset {offset} exceeds "
-                f"allocation of {alloc.nbytes}B")
-        yield self.gpu.dma.copy(nbytes, pinned=self.pinned if pinned is None else pinned)
-        self.bytes_d2h += nbytes
-        if alloc.data is None:
-            return Phantom(nbytes)
-        if (offset == 0 and alloc.dtype is not None and alloc.shape is not None
-                and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
-            return self.gpu.memory.read_array(src)
-        return self.gpu.memory.read(src, offset, nbytes)
+        with self._obs.start("client.memcpy_d2h", self._actor,
+                             nbytes=nbytes) as span:
+            alloc = self.gpu.memory.allocation(src)
+            if offset + nbytes > alloc.nbytes:
+                raise MiddlewareError(
+                    f"copy of {nbytes}B at offset {offset} exceeds "
+                    f"allocation of {alloc.nbytes}B")
+            yield self.gpu.dma.copy(
+                nbytes, pinned=self.pinned if pinned is None else pinned,
+                ctx=span.context)
+            self.bytes_d2h += nbytes
+            if alloc.data is None:
+                return Phantom(nbytes)
+            if (offset == 0 and alloc.dtype is not None and alloc.shape is not None
+                    and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
+                return self.gpu.memory.read_array(src)
+            return self.gpu.memory.read(src, offset, nbytes)
+
+    def peer_put(self, src: int, nbytes: int, peer: _t.Any, peer_addr: int,
+                 transfer: _t.Any = None):
+        """Unsupported: a node-attached GPU has no fabric to copy over."""
+        unsupported("peer_put", self)
 
     # -- kernels ----------------------------------------------------------
     def kernel_create(self, name: str):
@@ -116,8 +157,18 @@ class LocalAccelerator:
             if name not in self._kernels:
                 raise MiddlewareError(f"kernel {name!r} was not created")
             params = self._kernels[name]
-        result = yield self.gpu.launch(name, params, real=real)
-        return result
+        with self._obs.start("client.kernel_run", self._actor,
+                             kernel=name) as span:
+            result = yield self.gpu.launch(name, params, real=real,
+                                           ctx=span.context)
+            return result
+
+    # -- misc --------------------------------------------------------------
+    def ping(self):
+        """Liveness probe; a local device answers in one dispatch delay."""
+        with self._obs.start("client.ping", self._actor):
+            yield self.engine.timeout(self.cpu.request_handling_s)
+            return "pong"
 
     # -- streams ----------------------------------------------------------
     def stream(self, max_batch: int | None = None, name: str | None = None):

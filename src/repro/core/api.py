@@ -19,15 +19,25 @@ All remote calls are generators to be driven inside a simulation process
 (or through :class:`~repro.core.session.SyncSession` in plain scripts).
 Every operation costs exactly two MPI messages (request + response) plus
 data messages for bulk transfers, matching Sect. IV.
+
+Every operation also opens a ``client.*`` span on the engine's
+:class:`~repro.obs.TraceCollector`; the span's context rides the request
+frame so the daemon's network/staging/DMA phases become children on the
+same trace id (see :mod:`repro.obs`).  With tracing disabled the spans
+are the shared no-op :data:`~repro.obs.NULL_SPAN` and virtual time is
+bit-identical.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
 from ..errors import MiddlewareError, RequestTimeout
-from ..mpisim import Phantom, RankHandle, payload_nbytes
+from ..mpisim import RankHandle, payload_nbytes
+from ..obs.spans import collector_for
 from .blocksize import DEFAULT_TRANSFER, TransferConfig
+from .interface import AcceleratorLifecycle, release_all
 from .protocol import (
     AcceleratorHandle,
     Op,
@@ -42,7 +52,7 @@ from .reliability import DEFAULT_RETRY, RetryPolicy, reliable_rpc
 from .transfer import assemble_chunks, payload_meta, slice_chunks
 
 
-class RemoteAccelerator:
+class RemoteAccelerator(AcceleratorLifecycle):
     """Front-end bound to one compute-node rank and one accelerator handle."""
 
     def __init__(self, rank: RankHandle, handle: AcceleratorHandle,
@@ -53,6 +63,10 @@ class RemoteAccelerator:
         self.transfer = transfer
         self.retry = retry or DEFAULT_RETRY
         self._kernels: dict[str, dict] = {}  # name -> staged args
+        #: Live device allocations (for context-manager release).
+        self._live: dict[int, int] = {}      # addr -> nbytes
+        self._obs = collector_for(rank.comm.engine)
+        self._actor = f"cn{rank.index}"
         #: Cumulative accounting for the experiment harness.
         self.bytes_h2d = 0
         self.bytes_d2h = 0
@@ -60,7 +74,24 @@ class RemoteAccelerator:
         self.timeouts = 0
 
     # -- plumbing -------------------------------------------------------
-    def _rpc(self, op: Op, params: dict, timeout_s: float | None = None):
+    def _lifecycle_engine(self):
+        return self.rank.comm.engine
+
+    def _cfg(self, transfer: TransferConfig | None,
+             pinned: bool | None) -> TransferConfig:
+        """Resolve the per-call transfer configuration.
+
+        ``pinned`` is the unified per-call override shared with the
+        local backend; it derives a one-off config when it disagrees
+        with the base one.
+        """
+        cfg = transfer or self.transfer
+        if pinned is not None and pinned != cfg.pinned:
+            cfg = dataclasses.replace(cfg, pinned=pinned)
+        return cfg
+
+    def _rpc(self, op: Op, params: dict, timeout_s: float | None = None,
+             span=None):
         """One request/response round trip (generator). Returns Response.
 
         With a timeout (explicit or from the retry policy), the reply is
@@ -71,7 +102,7 @@ class RemoteAccelerator:
         resp = yield from reliable_rpc(
             self.rank, self.handle.daemon_rank, TAG_REQUEST, op, params,
             self.retry, timeout_s if timeout_s is not None else self.retry.timeout_s,
-            stats=self)
+            stats=self, span=span)
         resp.raise_for_status()
         return resp
 
@@ -94,100 +125,127 @@ class RemoteAccelerator:
     # -- memory management ----------------------------------------------
     def mem_alloc(self, nbytes: int):
         """Allocate ``nbytes`` of device memory; returns the device address."""
-        resp = yield from self._rpc(Op.MEM_ALLOC, {"nbytes": int(nbytes)})
-        return resp.value
+        with self._obs.start("client.mem_alloc", self._actor,
+                             nbytes=int(nbytes)) as span:
+            resp = yield from self._rpc(Op.MEM_ALLOC,
+                                        {"nbytes": int(nbytes)}, span=span)
+            self._live[resp.value] = int(nbytes)
+            return resp.value
 
     def mem_free(self, addr: int):
         """Release a device allocation."""
-        yield from self._rpc(Op.MEM_FREE, {"addr": addr})
+        with self._obs.start("client.mem_free", self._actor,
+                             addr=addr) as span:
+            yield from self._rpc(Op.MEM_FREE, {"addr": addr}, span=span)
+            self._live.pop(addr, None)
+
+    def release(self):
+        """Free every live allocation this front-end made (generator)."""
+        yield from release_all(self, self._live)
 
     # -- data movement ----------------------------------------------------
     def memcpy_h2d(self, dst: int, payload: _t.Any,
-                   transfer: TransferConfig | None = None, offset: int = 0):
+                   transfer: TransferConfig | None = None, offset: int = 0,
+                   pinned: bool | None = None):
         """Copy a host payload to device address ``dst`` (+ ``offset``).
 
         ``payload`` is a numpy array, bytes, or a
         :class:`~repro.mpisim.Phantom` for timing-only transfers.
         """
-        cfg = transfer or self.transfer
+        cfg = self._cfg(transfer, pinned)
         nbytes = payload_nbytes(payload)
         blocks = cfg.plan_blocks(nbytes, "h2d")
-        req = Request(op=Op.MEMCPY_H2D, req_id=next_request_id(),
-                      reply_to=self.rank.index,
-                      params={"dst": dst, "offset": int(offset),
-                              "blocks": blocks,
-                              "data_tag": 0, "pinned": cfg.pinned,
-                              "gpudirect": cfg.gpudirect,
-                              "meta": payload_meta(payload) if offset == 0 else None})
-        dtag = data_tag(req.req_id)
-        req.params["data_tag"] = dtag
-        self.requests += 1
-        reply = self.rank.irecv(source=self.handle.daemon_rank,
-                                tag=reply_tag(req.req_id))
-        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
-        # Stream the blocks; eager because the header announced them, so the
-        # daemon's pinned ring buffers count as pre-posted receives.  Each
-        # block pays the per-block registration/posting surcharge.
-        for chunk in slice_chunks(payload, blocks):
-            self.rank.isend(self.handle.daemon_rank, dtag, chunk, eager=True,
-                            injection_s=cfg.h2d_block_post_s)
-        msg = yield from self._await_reply(
-            reply, Op.MEMCPY_H2D, self.retry.transfer_timeout_s(nbytes))
-        resp: Response = msg.payload
-        resp.raise_for_status()
-        self.bytes_h2d += nbytes
+        span = self._obs.start("client.memcpy_h2d", self._actor,
+                               nbytes=nbytes, blocks=len(blocks),
+                               protocol=cfg.name)
+        with span:
+            req = Request(op=Op.MEMCPY_H2D, req_id=next_request_id(),
+                          reply_to=self.rank.index,
+                          params={"dst": dst, "offset": int(offset),
+                                  "blocks": blocks,
+                                  "data_tag": 0, "pinned": cfg.pinned,
+                                  "gpudirect": cfg.gpudirect,
+                                  "meta": payload_meta(payload) if offset == 0 else None},
+                          trace=span.wire)
+            dtag = data_tag(req.req_id)
+            req.params["data_tag"] = dtag
+            self.requests += 1
+            reply = self.rank.irecv(source=self.handle.daemon_rank,
+                                    tag=reply_tag(req.req_id))
+            self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
+            # Stream the blocks; eager because the header announced them, so
+            # the daemon's pinned ring buffers count as pre-posted receives.
+            # Each block pays the per-block registration/posting surcharge.
+            inject = span.child("inject", nbytes=nbytes)
+            for chunk in slice_chunks(payload, blocks):
+                self.rank.isend(self.handle.daemon_rank, dtag, chunk, eager=True,
+                                injection_s=cfg.h2d_block_post_s)
+            inject.finish()
+            msg = yield from self._await_reply(
+                reply, Op.MEMCPY_H2D, self.retry.transfer_timeout_s(nbytes))
+            resp: Response = msg.payload
+            resp.raise_for_status()
+            self.bytes_h2d += nbytes
 
     def memcpy_d2h(self, src: int, nbytes: int,
-                   transfer: TransferConfig | None = None, offset: int = 0):
+                   transfer: TransferConfig | None = None, offset: int = 0,
+                   pinned: bool | None = None):
         """Copy ``nbytes`` from device address ``src`` (+ ``offset``) back.
 
         Returns a typed array when the whole buffer is read and it has
         recorded dtype/shape, a flat uint8 array otherwise, or a Phantom
         for timing-only buffers.
         """
-        cfg = transfer or self.transfer
+        cfg = self._cfg(transfer, pinned)
         blocks = cfg.plan_blocks(int(nbytes), "d2h")
-        req = Request(op=Op.MEMCPY_D2H, req_id=next_request_id(),
-                      reply_to=self.rank.index,
-                      params={"src": src, "offset": int(offset),
-                              "blocks": blocks,
-                              "data_tag": 0, "pinned": cfg.pinned,
-                              "gpudirect": cfg.gpudirect,
-                              "block_post_s": cfg.d2h_block_post_s})
-        dtag = data_tag(req.req_id)
-        req.params["data_tag"] = dtag
-        self.requests += 1
-        # Pre-post all block receives (the protocol knows the block count),
-        # then issue the request.
-        block_reqs = [self.rank.irecv(source=self.handle.daemon_rank, tag=dtag)
-                      for _ in blocks]
-        reply = self.rank.irecv(source=self.handle.daemon_rank,
-                                tag=reply_tag(req.req_id))
-        self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
-        deadline_s = self.retry.transfer_timeout_s(int(nbytes))
-        msg = yield from self._await_reply(reply, Op.MEMCPY_D2H, deadline_s)
-        resp: Response = msg.payload
-        # On failure the daemon sent no data; the pre-posted receives are
-        # abandoned (their unique tag is never reused).
-        resp.raise_for_status()
-        if block_reqs:
-            all_blocks = self.rank.comm.engine.all_of(
-                [r.done for r in block_reqs])
-            if deadline_s is None:
-                yield all_blocks
-            else:
-                cond, dl = self.rank.comm.engine.race(all_blocks, deadline_s)
-                yield cond
-                if not all_blocks.triggered:
-                    self.timeouts += 1
-                    raise RequestTimeout(
-                        f"memcpy_d2h data stream from ac{self.handle.ac_id} "
-                        f"stalled ({deadline_s:g} s deadline)")
-                if not dl.processed:
-                    dl.cancel()
-        chunks = [r.message.payload for r in block_reqs]
-        self.bytes_d2h += int(nbytes)
-        return assemble_chunks(chunks, blocks, resp.value)
+        span = self._obs.start("client.memcpy_d2h", self._actor,
+                               nbytes=int(nbytes), blocks=len(blocks),
+                               protocol=cfg.name)
+        with span:
+            req = Request(op=Op.MEMCPY_D2H, req_id=next_request_id(),
+                          reply_to=self.rank.index,
+                          params={"src": src, "offset": int(offset),
+                                  "blocks": blocks,
+                                  "data_tag": 0, "pinned": cfg.pinned,
+                                  "gpudirect": cfg.gpudirect,
+                                  "block_post_s": cfg.d2h_block_post_s},
+                          trace=span.wire)
+            dtag = data_tag(req.req_id)
+            req.params["data_tag"] = dtag
+            self.requests += 1
+            # Pre-post all block receives (the protocol knows the block
+            # count), then issue the request.
+            block_reqs = [self.rank.irecv(source=self.handle.daemon_rank, tag=dtag)
+                          for _ in blocks]
+            reply = self.rank.irecv(source=self.handle.daemon_rank,
+                                    tag=reply_tag(req.req_id))
+            self.rank.isend(self.handle.daemon_rank, TAG_REQUEST, req)
+            deadline_s = self.retry.transfer_timeout_s(int(nbytes))
+            msg = yield from self._await_reply(reply, Op.MEMCPY_D2H, deadline_s)
+            resp: Response = msg.payload
+            # On failure the daemon sent no data; the pre-posted receives are
+            # abandoned (their unique tag is never reused).
+            resp.raise_for_status()
+            if block_reqs:
+                recv = span.child("net.recv", blocks=len(block_reqs))
+                all_blocks = self.rank.comm.engine.all_of(
+                    [r.done for r in block_reqs])
+                if deadline_s is None:
+                    yield all_blocks
+                else:
+                    cond, dl = self.rank.comm.engine.race(all_blocks, deadline_s)
+                    yield cond
+                    if not all_blocks.triggered:
+                        self.timeouts += 1
+                        raise RequestTimeout(
+                            f"memcpy_d2h data stream from ac{self.handle.ac_id} "
+                            f"stalled ({deadline_s:g} s deadline)")
+                    if not dl.processed:
+                        dl.cancel()
+                recv.finish()
+            chunks = [r.message.payload for r in block_reqs]
+            self.bytes_d2h += int(nbytes)
+            return assemble_chunks(chunks, blocks, resp.value)
 
     def peer_put(self, src: int, nbytes: int, peer: "RemoteAccelerator",
                  peer_addr: int, transfer: TransferConfig | None = None):
@@ -199,19 +257,24 @@ class RemoteAccelerator:
         """
         cfg = transfer or self.transfer
         blocks = cfg.plan_blocks(int(nbytes), "d2h")
-        resp = yield from self._rpc(Op.PEER_PUT, {
-            "src": src, "blocks": blocks,
-            "peer_rank": peer.handle.daemon_rank, "peer_addr": peer_addr,
-            "pinned": cfg.pinned, "gpudirect": cfg.gpudirect,
-            "block_post_s": cfg.d2h_block_post_s,
-        })
-        return resp
+        with self._obs.start("client.peer_put", self._actor,
+                             nbytes=int(nbytes),
+                             peer=f"ac{peer.handle.ac_id}") as span:
+            resp = yield from self._rpc(Op.PEER_PUT, {
+                "src": src, "blocks": blocks,
+                "peer_rank": peer.handle.daemon_rank, "peer_addr": peer_addr,
+                "pinned": cfg.pinned, "gpudirect": cfg.gpudirect,
+                "block_post_s": cfg.d2h_block_post_s,
+            }, span=span)
+            return resp
 
     # -- kernels ----------------------------------------------------------
     def kernel_create(self, name: str):
         """Declare intent to run kernel ``name`` (validates it remotely)."""
-        yield from self._rpc(Op.KERNEL_CREATE, {"name": name})
-        self._kernels[name] = {}
+        with self._obs.start("client.kernel_create", self._actor,
+                             kernel=name) as span:
+            yield from self._rpc(Op.KERNEL_CREATE, {"name": name}, span=span)
+            self._kernels[name] = {}
 
     def kernel_set_args(self, name: str, params: dict) -> None:
         """Stage launch parameters locally (sent with the next run)."""
@@ -232,16 +295,20 @@ class RemoteAccelerator:
                 raise MiddlewareError(
                     f"kernel {name!r} was not created on this accelerator")
             params = self._kernels[name]
-        resp = yield from self._rpc(Op.KERNEL_RUN, {
-            "name": name, "params": params, "real": real},
-            timeout_s=timeout_s)
-        return resp.value
+        with self._obs.start("client.kernel_run", self._actor,
+                             kernel=name) as span:
+            resp = yield from self._rpc(Op.KERNEL_RUN, {
+                "name": name, "params": params, "real": real},
+                timeout_s=timeout_s, span=span)
+            return resp.value
 
     # -- misc -------------------------------------------------------------
     def ping(self, timeout_s: float | None = None):
         """Round-trip liveness probe; returns the one-way-ish RTT payload."""
-        resp = yield from self._rpc(Op.PING, {}, timeout_s=timeout_s)
-        return resp.value
+        with self._obs.start("client.ping", self._actor) as span:
+            resp = yield from self._rpc(Op.PING, {}, timeout_s=timeout_s,
+                                        span=span)
+            return resp.value
 
     # -- batching / streams -----------------------------------------------
     def batch_rpc(self, calls: _t.Sequence[tuple[Op, dict]],
@@ -263,9 +330,20 @@ class RemoteAccelerator:
                 raise MiddlewareError(
                     f"op {op.value!r} cannot ride a batch frame")
             wire.append((op.value, params))
-        resp = yield from self._rpc(Op.BATCH, {"ops": wire},
-                                    timeout_s=timeout_s)
-        return resp.value
+        with self._obs.start("client.batch", self._actor,
+                             ops=len(wire)) as span:
+            resp = yield from self._rpc(Op.BATCH, {"ops": wire},
+                                        timeout_s=timeout_s, span=span)
+            # Track allocations made inside the frame so context-manager
+            # release covers batched mem_alloc/mem_free too.
+            for (op_value, params), sub in zip(wire, resp.value):
+                if not sub.ok:
+                    continue
+                if op_value == Op.MEM_ALLOC.value:
+                    self._live[sub.value] = params.get("nbytes", 0)
+                elif op_value == Op.MEM_FREE.value:
+                    self._live.pop(params.get("addr"), None)
+            return resp.value
 
     def stream(self, max_batch: int | None = None, name: str | None = None):
         """Create an asynchronous command :class:`~repro.core.stream.Stream`.
@@ -294,7 +372,9 @@ def run_parallel(engine, generators: _t.Sequence[_t.Iterator]):
     If any branch raises, the first failure propagates annotated with
     which branches failed — the bare AllOf condition would otherwise
     surface an exception with no hint of its origin, and silently drop
-    every failure after the first.
+    every failure after the first.  Open trace spans are closed (marked
+    aborted) before the failure surfaces: a branch that died mid-request
+    must not leak half-open spans into the export.
     """
     procs = [engine.process(g) for g in generators]
     if procs:
@@ -302,6 +382,8 @@ def run_parallel(engine, generators: _t.Sequence[_t.Iterator]):
             yield engine.all_of(procs)
         except Exception as exc:
             _annotate_parallel_failure(exc, procs)
+            collector_for(engine).abort_open(
+                f"run_parallel branch failed: {type(exc).__name__}")
             raise
     return [p.value for p in procs]
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import DeviceMemoryError, KernelError
 from ..mpisim import Phantom, RankHandle
+from ..obs.spans import NULL_SPAN, collector_for, context_from_wire
 from ..sim import Event
 from .protocol import DEDUP_OPS, Op, Request, Response, Status, TAG_REQUEST, reply_tag
 from .transfer import ArrayMeta
@@ -94,6 +95,12 @@ class Daemon:
         #: duplicate (retried) requests instead of re-executing them.
         self._dedup: collections.OrderedDict[int, Response] = collections.OrderedDict()
         self._stopped = False
+        self._obs = collector_for(self.engine)
+        #: The span of the request currently being served.  The daemon is
+        #: single-threaded (strictly in-order), so one slot suffices; the
+        #: transfer handlers parent their network / staging / DMA child
+        #: spans under it.
+        self._cur_span = NULL_SPAN
         self.proc = self.engine.process(self._serve(), name=f"daemon:{node.name}")
 
     # -- main loop ------------------------------------------------------
@@ -129,15 +136,27 @@ class Daemon:
                 # reply was lost or late): replay the recorded response —
                 # at-most-once execution for ops with side effects.
                 self.stats.dedup_hits += 1
-                yield from self._drain_data(req, msg.source)
-                self._reply(req, cached, dedup=True)
+                with self._obs.start(f"daemon.{req.op.value}",
+                                     self.node.name,
+                                     parent=context_from_wire(req.trace),
+                                     req_id=req.req_id, dedup_replay=True):
+                    yield from self._drain_data(req, msg.source)
+                    self._reply(req, cached, dedup=True)
                 continue
             handler = self._handlers().get(req.op)
             if handler is None:
                 self._reply(req, Response(req.req_id, Status.ERROR,
                                           error=f"unsupported op {req.op}"))
                 continue
-            yield from handler(req, msg.source)
+            span = self._obs.start(f"daemon.{req.op.value}", self.node.name,
+                                   parent=context_from_wire(req.trace),
+                                   req_id=req.req_id)
+            self._cur_span = span
+            try:
+                with span:
+                    yield from handler(req, msg.source)
+            finally:
+                self._cur_span = NULL_SPAN
 
     def _handlers(self):
         return {
@@ -278,8 +297,10 @@ class Daemon:
 
         dma_events: list[Event] = []
         first = True
-        for off, size in blocks:
+        for i, (off, size) in enumerate(blocks):
+            recv_span = self._cur_span.child("net.recv", block=i, nbytes=size)
             msg = yield from self.rank.recv(source=src, tag=dtag)
+            recv_span.finish()
             if not first:
                 # Per-block software cost: posting the next receive and the
                 # DMA descriptor (the first block's cost was the request
@@ -289,9 +310,11 @@ class Daemon:
             if not gpudirect:
                 # Without GPUDirect the block must be staged from the MPI
                 # receive buffer into the pinned DMA buffer by the CPU.
-                yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
+                with self._cur_span.child("staging", block=i, nbytes=size):
+                    yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
             self.stats.stage(size)
-            ev = self.gpu.dma.copy(size, pinned=pinned)
+            ev = self.gpu.dma.copy(size, pinned=pinned,
+                                   ctx=self._cur_span.context)
             chunk = msg.payload
             is_real = not isinstance(chunk, Phantom)
 
@@ -338,18 +361,21 @@ class Daemon:
                 and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
             meta = (alloc.dtype.str, alloc.shape)
         block_post = p.get("block_post_s")
-        for off, size in blocks:
+        for i, (off, size) in enumerate(blocks):
             # The pinned-ring slot is occupied from the start of the
             # device-to-pinned DMA until the NIC has drained it (send
             # injection) — symmetric to the H2D direction.
             self.stats.stage(size)
-            yield self.gpu.dma.copy(size, pinned=pinned)
+            yield self.gpu.dma.copy(size, pinned=pinned,
+                                    ctx=self._cur_span.context)
             if not gpudirect:
-                yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
+                with self._cur_span.child("staging", block=i, nbytes=size):
+                    yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
             chunk: _t.Any = (self.gpu.memory.read(src_addr, base + off, size)
                              if is_real else Phantom(size))
             # Non-blocking: the send of block k overlaps the DMA of k+1;
             # sends come from the pre-registered pinned ring (cheap post).
+            self._cur_span.event("net.send", block=i, nbytes=size)
             sreq = self.rank.isend(src, dtag, chunk, eager=True,
                                    injection_s=block_post)
             sreq.done.add_callback(
@@ -385,15 +411,19 @@ class Daemon:
             meta = (alloc.dtype.str, alloc.shape)
         fwd_id = next_request_id()
         dtag = data_tag(fwd_id)
+        # The forwarded request carries this daemon's span context, so the
+        # peer's H2D handling joins the same trace as the originating op.
         fwd = Request(op=Op.MEMCPY_H2D, req_id=fwd_id, reply_to=self.rank.index,
                       params={"dst": peer_addr, "blocks": blocks,
                               "data_tag": dtag, "pinned": pinned,
                               "gpudirect": p.get("gpudirect", True),
-                              "meta": meta})
+                              "meta": meta},
+                      trace=self._cur_span.wire)
         self.rank.isend(peer_rank, TAG_REQUEST, fwd)
         block_post = p.get("block_post_s")
         for off, size in blocks:
-            yield self.gpu.dma.copy(size, pinned=pinned)
+            yield self.gpu.dma.copy(size, pinned=pinned,
+                                    ctx=self._cur_span.context)
             chunk: _t.Any = (self.gpu.memory.read(src_addr, off, size)
                              if is_real else Phantom(size))
             self.rank.isend(peer_rank, dtag, chunk, eager=True,
@@ -422,7 +452,8 @@ class Daemon:
         try:
             result = yield self.gpu.launch(params["name"],
                                            params.get("params") or {},
-                                           real=params.get("real", True))
+                                           real=params.get("real", True),
+                                           ctx=self._cur_span.context)
         except KernelError as exc:
             return Response(req_id, Status.ERROR, error=str(exc))
         self.stats.kernels_run += 1

@@ -1,0 +1,167 @@
+"""The unified accelerator interface all backends conform to.
+
+Three front-ends drive accelerators in this library — the paper's remote
+middleware path (:class:`~repro.core.api.RemoteAccelerator`), the static
+node-attached baseline (:class:`~repro.baselines.local.LocalAccelerator`),
+and the failover wrapper
+(:class:`~repro.core.reliability.ResilientAccelerator`).  Workloads are
+written once against :class:`AcceleratorAPI` and measured on any of them;
+the conformance suite (``tests/core/test_interface_conformance.py``)
+asserts the same op program produces identical results on all three.
+
+Canonical signatures (the drifted per-backend spellings are reconciled
+behind deprecation shims, not removed):
+
+* ``memcpy_h2d(dst, payload, transfer=None, offset=0, pinned=None)`` and
+  ``memcpy_d2h(src, nbytes, transfer=None, offset=0, pinned=None)`` —
+  every backend accepts both the remote path's ``transfer``
+  (:class:`~repro.core.blocksize.TransferConfig`) and the local path's
+  per-call ``pinned`` override; backends ignore what has no meaning for
+  them (a local copy has no network protocol).
+* Optional capabilities (``peer_put`` on fabric-less backends) raise the
+  typed :class:`~repro.errors.UnsupportedOp` instead of ``AttributeError``
+  so callers can degrade gracefully.
+* Every backend is a context manager: ``with`` synchronizes and releases
+  live allocations on exit (see :class:`AcceleratorLifecycle`).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+import warnings
+
+from ..errors import UnsupportedOp
+
+
+@_t.runtime_checkable
+class AcceleratorAPI(_t.Protocol):
+    """Structural type of one accelerator front-end (the ``ac*`` surface).
+
+    All operations except ``kernel_set_args`` are generators to be driven
+    inside a simulation process (or through
+    :class:`~repro.core.session.SyncSession`).
+    """
+
+    def mem_alloc(self, nbytes: int) -> _t.Iterator: ...
+
+    def mem_free(self, addr: int) -> _t.Iterator: ...
+
+    def memcpy_h2d(self, dst: int, payload: _t.Any,
+                   transfer: _t.Any = None, offset: int = 0,
+                   pinned: bool | None = None) -> _t.Iterator: ...
+
+    def memcpy_d2h(self, src: int, nbytes: int,
+                   transfer: _t.Any = None, offset: int = 0,
+                   pinned: bool | None = None) -> _t.Iterator: ...
+
+    def kernel_create(self, name: str) -> _t.Iterator: ...
+
+    def kernel_set_args(self, name: str, params: dict) -> None: ...
+
+    def kernel_run(self, name: str, params: dict | None = None,
+                   real: bool = True) -> _t.Iterator: ...
+
+    def ping(self) -> _t.Iterator: ...
+
+    def peer_put(self, src: int, nbytes: int, peer: _t.Any,
+                 peer_addr: int, transfer: _t.Any = None) -> _t.Iterator: ...
+
+    def stream(self, max_batch: int | None = None,
+               name: str | None = None) -> _t.Any: ...
+
+    def release(self) -> _t.Iterator: ...
+
+    def __enter__(self) -> "AcceleratorAPI": ...
+
+    def __exit__(self, exc_type, exc, tb) -> bool: ...
+
+
+class AcceleratorLifecycle:
+    """Context-manager lifecycle shared by every backend.
+
+    ``with ac:`` releases all live allocations on exit by driving the
+    backend's :meth:`release` generator.  Two execution contexts work:
+
+    * plain scripts (the engine is idle): the cleanup runs synchronously,
+      advancing the shared virtual clock like a
+      :class:`~repro.core.session.SyncSession` call would;
+    * inside a simulation process (the engine is running): the cleanup is
+      spawned as a background process and completes as the simulation
+      advances — ``with`` cannot block there, because ``__exit__`` is not
+      a generator.
+
+    After a with-body exception, cleanup failures are swallowed so they
+    never mask the original error; on the clean path they propagate.
+
+    Subclasses provide ``_lifecycle_engine()`` and ``release()``.
+    """
+
+    def _lifecycle_engine(self):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def release(self) -> _t.Iterator:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def close(self) -> None:
+        """Free live allocations (drives :meth:`release`, see above)."""
+        engine = self._lifecycle_engine()
+        proc = engine.process(self.release(), name=f"release:{self!r}")
+        if not getattr(engine, "_running", False):
+            engine.run(until=proc)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            self.close()
+        except Exception:
+            if exc_type is None:
+                raise
+            # Unwinding from a with-body failure already: a cleanup error
+            # (e.g. the accelerator broke mid-body) must not mask it.
+        return False
+
+
+def release_all(ac, live: _t.Iterable[int]) -> _t.Iterator:
+    """Free every address in ``live`` (a shared ``release()`` body).
+
+    Addresses are freed in insertion order; ``live`` is snapshotted first
+    because ``mem_free`` mutates the backend's live-set as it goes.
+    """
+    for addr in list(live):
+        yield from ac.mem_free(addr)
+
+
+def unsupported(op: str, backend: _t.Any) -> _t.NoReturn:
+    """Raise the typed capability error for an optional op."""
+    raise UnsupportedOp(op, type(backend).__name__)
+
+
+def reinterpret_legacy_pinned(transfer: _t.Any, pinned: bool | None,
+                              method: str) -> tuple[_t.Any, bool | None]:
+    """Deprecation shim for the pre-unification LocalAccelerator order.
+
+    ``LocalAccelerator.memcpy_*`` used to take ``pinned`` as its third
+    parameter where the unified signature puts ``transfer``; a bool
+    arriving in the ``transfer`` slot is old calling code.  Warn and
+    reinterpret instead of breaking it.
+    """
+    if isinstance(transfer, bool):
+        warnings.warn(
+            f"{method}: passing 'pinned' positionally is deprecated — the "
+            f"unified AcceleratorAPI signature is "
+            f"{method}(..., transfer=None, offset=0, pinned=None); "
+            f"use the pinned= keyword",
+            DeprecationWarning, stacklevel=3)
+        return None, transfer if pinned is None else pinned
+    return transfer, pinned
+
+
+#: Methods every backend must expose; the conformance suite checks this
+#: list against :class:`AcceleratorAPI` so the two cannot drift.
+API_METHODS = (
+    "mem_alloc", "mem_free", "memcpy_h2d", "memcpy_d2h",
+    "kernel_create", "kernel_set_args", "kernel_run",
+    "ping", "peer_put", "stream", "release", "__enter__", "__exit__",
+)

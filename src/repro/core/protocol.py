@@ -142,6 +142,11 @@ class Request:
     #: Retry attempt number (0 = first send).  Resends keep the same
     #: ``req_id`` so the receiver can deduplicate.
     attempt: int = 0
+    #: Span context ``(trace_id, span_id)`` of the front-end operation
+    #: this request belongs to, or None when tracing is off.  The daemon
+    #: opens its spans as children of this context so one remote op
+    #: decomposes across client and server on a single trace id.
+    trace: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.op, Op):
@@ -152,6 +157,21 @@ class Request:
             raise ProtocolError(f"invalid reply rank: {self.reply_to!r}")
         if self.attempt < 0:
             raise ProtocolError(f"invalid attempt number: {self.attempt!r}")
+        if self.trace is not None and (
+                not isinstance(self.trace, tuple) or len(self.trace) != 2):
+            raise ProtocolError(f"invalid trace context: {self.trace!r}")
+
+    def wire_sized(self) -> "Request":
+        """The frame as measured for transfer-time accounting.
+
+        The span context is out-of-band observability metadata: it must
+        not change the simulated wire size, or enabling tracing would
+        perturb the virtual timeline (tracing on/off is asserted to be
+        bit-identical).
+        """
+        if self.trace is None:
+            return self
+        return dataclasses.replace(self, trace=None)
 
 
 @dataclasses.dataclass

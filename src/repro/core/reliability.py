@@ -37,6 +37,8 @@ import numpy as np
 
 from ..errors import AcceleratorFault, MiddlewareError, RequestTimeout
 from ..mpisim import Phantom, RankHandle
+from ..obs.spans import NULL_SPAN, collector_for
+from .interface import AcceleratorLifecycle, release_all, unsupported
 from .protocol import (
     AcceleratorHandle,
     Op,
@@ -99,7 +101,7 @@ DEFAULT_RETRY = RetryPolicy()
 
 def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
                  policy: RetryPolicy, timeout_s: float | None,
-                 stats: _t.Any = None):
+                 stats: _t.Any = None, span=None):
     """One request/reply exchange with timeout + retry (generator).
 
     Posts a single reply receive, then sends the request up to
@@ -110,8 +112,12 @@ def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
     :class:`RequestTimeout` when every deadline expired.
 
     ``stats`` may provide ``requests`` / ``timeouts`` integer attributes
-    to be incremented (the front-end passes itself).
+    to be incremented (the front-end passes itself).  ``span`` is the
+    caller's open trace span: its context rides each request frame and
+    timeouts / resends are recorded as span events.
     """
+    if span is None:
+        span = NULL_SPAN
     engine = rank.comm.engine
     req_id = next_request_id()
     rreq = rank.irecv(source=dst, tag=reply_tag(req_id))
@@ -120,9 +126,11 @@ def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
     for attempt in range(attempts):
         if stats is not None:
             stats.requests += 1
+        if attempt:
+            span.event("retry", attempt=attempt, req_id=req_id)
         rank.isend(dst, tag, Request(op=op, req_id=req_id,
                                      reply_to=rank.index, params=params,
-                                     attempt=attempt))
+                                     attempt=attempt, trace=span.wire))
         if timeout_s is None:
             yield rreq.done
             break
@@ -134,6 +142,7 @@ def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
             break
         if stats is not None:
             stats.timeouts += 1
+        span.event("timeout", attempt=attempt, deadline_s=timeout_s)
         if attempt + 1 < attempts:
             yield engine.timeout(policy.backoff_s(attempt))
             if rreq.completed:  # the straggler reply landed during backoff
@@ -220,7 +229,7 @@ VADDR_BASE = 0x5EED_0000_0000
 VADDR_STEP = 0x1_0000
 
 
-class ResilientAccelerator:
+class ResilientAccelerator(AcceleratorLifecycle):
     """Failover-capable front-end over one ARM-assigned accelerator.
 
     Mirrors the :class:`~repro.core.api.RemoteAccelerator` surface
@@ -278,6 +287,9 @@ class ResilientAccelerator:
     def engine(self):
         return self._ac.rank.comm.engine
 
+    def _lifecycle_engine(self):
+        return self.engine
+
     @property
     def requests(self) -> int:
         """RPCs sent, aggregated across all front-ends this wrapper used."""
@@ -329,31 +341,41 @@ class ResilientAccelerator:
     def _recover(self, cause: Exception):
         t0 = self.engine.now
         self.failovers += 1
-        if self.config.policy is FailoverPolicy.RETRY_SAME:
-            if self.config.retry_delay_s > 0:
-                yield self.engine.timeout(self.config.retry_delay_s)
+        broken = self._ac.handle
+        with collector_for(self.engine).start(
+                "failover.recover", f"cn{self._ac.rank.index}",
+                cause=type(cause).__name__,
+                policy=self.config.policy.value,
+                broken=f"ac{broken.ac_id}") as span:
+            if self.config.policy is FailoverPolicy.RETRY_SAME:
+                if self.config.retry_delay_s > 0:
+                    yield self.engine.timeout(self.config.retry_delay_s)
+                self.recovery_latencies.append(self.engine.now - t0)
+                self.recovered_at.append(self.engine.now)
+                return
+            # REALLOCATE: tell the ARM, get a replacement, replay state.
+            yield from self.arm.report_break(broken.ac_id)
+            span.event("break_reported", ac=broken.ac_id)
+            replacement = yield from self.arm.alloc(
+                count=1, wait=self.config.wait_for_replacement,
+                job=self.config.job)
+            span.event("replacement_assigned", ac=replacement[0].ac_id)
+            self._retired_requests += self._ac.requests
+            self._retired_timeouts += self._ac.timeouts
+            self._ac = self._make_remote(replacement[0])
+            for vaddr, buf in sorted(self._buffers.items()):
+                addr = yield from self._ac.mem_alloc(buf.nbytes)
+                self._vmap[vaddr] = addr
+                yield from self._ac.memcpy_h2d(addr, buf.replay_payload())
+            for _, name in sorted(self._kernels.items()):
+                yield from self._ac.kernel_create(name)
+                if name in self._kernel_args:
+                    self._ac.kernel_set_args(
+                        name, self._translate_params(self._kernel_args[name]))
+            span.set(replayed_buffers=len(self._buffers),
+                     replayed_kernels=len(self._kernels))
             self.recovery_latencies.append(self.engine.now - t0)
             self.recovered_at.append(self.engine.now)
-            return
-        # REALLOCATE: tell the ARM, get a replacement, replay state.
-        broken = self._ac.handle
-        yield from self.arm.report_break(broken.ac_id)
-        replacement = yield from self.arm.alloc(
-            count=1, wait=self.config.wait_for_replacement, job=self.config.job)
-        self._retired_requests += self._ac.requests
-        self._retired_timeouts += self._ac.timeouts
-        self._ac = self._make_remote(replacement[0])
-        for vaddr, buf in sorted(self._buffers.items()):
-            addr = yield from self._ac.mem_alloc(buf.nbytes)
-            self._vmap[vaddr] = addr
-            yield from self._ac.memcpy_h2d(addr, buf.replay_payload())
-        for _, name in sorted(self._kernels.items()):
-            yield from self._ac.kernel_create(name)
-            if name in self._kernel_args:
-                self._ac.kernel_set_args(
-                    name, self._translate_params(self._kernel_args[name]))
-        self.recovery_latencies.append(self.engine.now - t0)
-        self.recovered_at.append(self.engine.now)
 
     # -- the ac* surface --------------------------------------------------
     def mem_alloc(self, nbytes: int):
@@ -372,19 +394,23 @@ class ResilientAccelerator:
         del self._vmap[vaddr]
         del self._buffers[vaddr]
 
-    def memcpy_h2d(self, dst: int, payload: _t.Any, offset: int = 0, **kw):
+    def memcpy_h2d(self, dst: int, payload: _t.Any, transfer=None,
+                   offset: int = 0, pinned: bool | None = None):
         buf = self._buffers.get(dst)
         if buf is None:
             raise MiddlewareError(f"unknown buffer {dst:#x}")
         yield from self.run_guarded(
             lambda: self._ac.memcpy_h2d(self._phys(dst), payload,
-                                        offset=offset, **kw))
+                                        transfer=transfer, offset=offset,
+                                        pinned=pinned))
         buf.record_write(payload, offset)
 
-    def memcpy_d2h(self, src: int, nbytes: int, offset: int = 0, **kw):
+    def memcpy_d2h(self, src: int, nbytes: int, transfer=None,
+                   offset: int = 0, pinned: bool | None = None):
         result = yield from self.run_guarded(
             lambda: self._ac.memcpy_d2h(self._phys(src), int(nbytes),
-                                        offset=offset, **kw))
+                                        transfer=transfer, offset=offset,
+                                        pinned=pinned))
         return result
 
     def kernel_create(self, name: str):
@@ -419,9 +445,25 @@ class ResilientAccelerator:
         result = yield from self.run_guarded(attempt)
         return result
 
-    def ping(self):
-        result = yield from self.run_guarded(lambda: self._ac.ping())
+    def ping(self, timeout_s: float | None = None):
+        result = yield from self.run_guarded(
+            lambda: self._ac.ping(timeout_s=timeout_s))
         return result
+
+    def peer_put(self, src: int, nbytes: int, peer: _t.Any, peer_addr: int,
+                 transfer=None):
+        """Unsupported: a direct peer copy bypasses the failover guard.
+
+        The data would move accelerator-to-accelerator without updating
+        the destination's host shadow, so a later failover of *either*
+        side could not replay it.  Callers fall back to a guarded
+        D2H + H2D bounce.
+        """
+        unsupported("peer_put", self)
+
+    def release(self):
+        """Free every live (virtual) allocation, with failover guarding."""
+        yield from release_all(self, self._vmap)
 
     def stream(self, max_batch: int | None = None, name: str | None = None):
         """Create an asynchronous command stream over this wrapper.

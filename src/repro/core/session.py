@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing as _t
 
 from ..errors import ProcessInterrupt, RequestTimeout
+from ..obs.spans import collector_for
 from ..sim import Engine
 
 
@@ -48,6 +49,9 @@ class SyncSession:
             self.engine.run(until=proc)
         except ProcessInterrupt:
             pass
+        # The interrupted operation may have died between span open and
+        # close (e.g. mid-transfer); don't leak its spans into the export.
+        collector_for(self.engine).abort_open("sync-call deadline")
         raise RequestTimeout(
             f"sync call {proc.name!r} exceeded its {timeout_s:g} s deadline")
 
@@ -65,6 +69,8 @@ class SyncSession:
             self.engine.run(until=self.engine.all_of(procs))
         except Exception as exc:
             _annotate_parallel_failure(exc, procs)
+            collector_for(self.engine).abort_open(
+                f"parallel branch failed: {type(exc).__name__}")
             raise
         return [p.value for p in procs]
 

@@ -42,6 +42,7 @@ import collections
 import typing as _t
 
 from ..errors import MiddlewareError
+from ..obs.spans import collector_for
 from ..sim import Engine, Event
 from .protocol import BATCHABLE_OPS, Op
 
@@ -172,6 +173,7 @@ class Stream:
         self.batching = (batching if batching is not None
                          else hasattr(ac, "batch_rpc"))
         self.name = name
+        self._obs = collector_for(engine)
         self._queue: collections.deque[_QueuedOp] = collections.deque()
         self._pump = None
         self._error: Exception | None = None
@@ -252,6 +254,31 @@ class Stream:
             raise self._error
         return None
 
+    def close(self) -> None:
+        """Flush the queue (drives :meth:`synchronize`).
+
+        Mirrors :class:`~repro.core.interface.AcceleratorLifecycle`: from
+        a plain script (engine idle) the flush runs synchronously; inside
+        a running simulation it is spawned as a background process.
+        """
+        engine = self.engine
+        proc = engine.process(self.synchronize(), name=f"sync:{self.name}")
+        if not getattr(engine, "_running", False):
+            engine.run(until=proc)
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            self.close()
+        except Exception:
+            if exc_type is None:
+                raise
+            # Already unwinding from a with-body error: the stream's
+            # sticky error must not mask it.
+        return False
+
     @property
     def roundtrips_saved(self) -> int:
         """Request round trips avoided by coalescing, so far."""
@@ -299,45 +326,73 @@ class Stream:
         self.frames_issued += 0 if item.local else 1
         if item.local:
             self._local_ops += 1
-        try:
-            args = _resolve(item.args)
-            kwargs = _resolve(item.kwargs)
-            method = getattr(self.ac, item.method)
-            if item.local:
-                result = method(*args, **kwargs)
-            else:
-                result = yield from method(*args, **kwargs)
-        except Exception as exc:
-            self._fail(item, exc)
+            try:
+                result = getattr(self.ac, item.method)(
+                    *_resolve(item.args), **_resolve(item.kwargs))
+            except Exception as exc:
+                self._fail(item, exc)
+                return
+            item.future._event.succeed(result)
             return
+        with self._obs.start("stream.frame", self.name, ops=1,
+                             method=item.method,
+                             queue_depth=len(self._queue)) as frame:
+            try:
+                args = _resolve(item.args)
+                kwargs = _resolve(item.kwargs)
+                method = getattr(self.ac, item.method)
+                # The front-end's own client.* span adopts the frame span
+                # as parent (stage-then-call, no yield in between), so the
+                # op becomes the frame's per-op child.
+                self._obs.adopt_parent(frame.context)
+                try:
+                    result = yield from method(*args, **kwargs)
+                finally:
+                    self._obs.clear_adopted()
+            except Exception as exc:
+                self._fail(item, exc)
+                return
         item.future._event.succeed(result)
 
     def _issue_batch(self, run: list[_QueuedOp]):
         self.frames_issued += 1
         self.ops_batched += len(run)
-        try:
-            calls = [self._as_call(item) for item in run]
-            subs = yield from self.ac.batch_rpc(calls)
-        except Exception as exc:
-            # The frame itself failed (timeout after retries, broken
-            # accelerator, ...): every op in it fails identically.
-            for item in run:
-                item.future._event.fail(exc)
-            self._abort_rest(exc)
-            return
-        failed: Exception | None = None
-        for item, sub in zip(run, subs):
-            if failed is not None:
-                item.future._event.fail(failed)
-                continue
+        frame = self._obs.start("stream.frame", self.name, ops=len(run),
+                                queue_depth=len(self._queue))
+        with frame:
+            children = [frame.child(f"stream.{item.method}", op=i)
+                        for i, item in enumerate(run)]
             try:
-                sub.raise_for_status()
+                calls = [self._as_call(item) for item in run]
+                self._obs.adopt_parent(frame.context)
+                try:
+                    subs = yield from self.ac.batch_rpc(calls)
+                finally:
+                    self._obs.clear_adopted()
             except Exception as exc:
-                failed = exc
-                self._fail(item, exc)
-                continue
-            self._post_op(item, sub.value)
-            item.future._event.succeed(sub.value)
+                # The frame itself failed (timeout after retries, broken
+                # accelerator, ...): every op in it fails identically.
+                for item, child in zip(run, children):
+                    child.finish(error=type(exc).__name__)
+                    item.future._event.fail(exc)
+                self._abort_rest(exc)
+                return
+            failed: Exception | None = None
+            for item, sub, child in zip(run, subs, children):
+                if failed is not None:
+                    child.finish(skipped=True)
+                    item.future._event.fail(failed)
+                    continue
+                try:
+                    sub.raise_for_status()
+                except Exception as exc:
+                    child.finish(error=type(exc).__name__)
+                    failed = exc
+                    self._fail(item, exc)
+                    continue
+                child.finish()
+                self._post_op(item, sub.value)
+                item.future._event.succeed(sub.value)
 
     def _as_call(self, item: _QueuedOp) -> tuple[Op, dict]:
         """Translate one queued op into its (Op, params) wire form."""

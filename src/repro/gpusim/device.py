@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import GPUError
+from ..obs.spans import NULL_SPAN, collector_for
 from ..sim import Engine, Event, Resource, Tracer, NULL_TRACER
 from ..units import GiB, USEC
 from .dma import DMAEngine, PCIeModel, PCIE_GEN2_X16
@@ -97,41 +98,50 @@ class GPUDevice:
         self.name = name or f"gpu{GPUDevice._ids}"
         self.tracer = tracer
         self.memory = DeviceMemory(spec.mem_bytes)
-        self.dma = DMAEngine(engine, spec.pcie)
+        self.dma = DMAEngine(engine, spec.pcie, name=f"{self.name}.dma")
         self._compute = Resource(engine, capacity=1)
         #: Cumulative compute-busy seconds (utilization accounting).
         self.busy_time = 0.0
         self.kernels_launched = 0
 
     def launch(self, kernel_name: str, params: dict | None = None,
-               real: bool = True) -> Event:
+               real: bool = True, ctx=None) -> Event:
         """Launch a kernel; the returned event fires at completion.
 
         ``real=False`` charges the kernel's modeled time without executing
         its numerics (timing-only mode for paper-scale problem sizes).
         The event's value is the kernel's return (error code or None).
+        ``ctx`` optionally parents a ``gpu.kernel`` trace span under the
+        requesting operation (see :mod:`repro.obs`).
         """
         kernel = self.registry.get(kernel_name)
         params = params or {}
         duration = kernel.cost(params, self.spec)
         done = self.engine.event()
-        self.engine.process(self._run(kernel, params, duration, real, done),
+        self.engine.process(self._run(kernel, params, duration, real, done, ctx),
                             name=f"{self.name}:{kernel_name}")
         return done
 
-    def _run(self, kernel, params: dict, duration: float, real: bool, done: Event):
-        yield self._compute.acquire()
-        yield self.engine.timeout(self.spec.launch_overhead_s + duration)
-        result = None
-        try:
-            if real:
-                result = kernel.fn(self, params)
-        finally:
-            self._compute.release()
-        self.busy_time += duration
-        self.kernels_launched += 1
-        self.tracer.log(self.engine.now, "gpu.kernel", self.name,
-                        (kernel.name, duration))
+    def _run(self, kernel, params: dict, duration: float, real: bool,
+             done: Event, ctx=None):
+        span = collector_for(self.engine).start(
+            "gpu.kernel", self.name, parent=ctx,
+            kernel=kernel.name) if ctx is not None else NULL_SPAN
+        with span:
+            yield self._compute.acquire()
+            span.event("compute_acquired")
+            yield self.engine.timeout(self.spec.launch_overhead_s + duration)
+            result = None
+            try:
+                if real:
+                    result = kernel.fn(self, params)
+            finally:
+                self._compute.release()
+            self.busy_time += duration
+            self.kernels_launched += 1
+            self.tracer.log(self.engine.now, "gpu.kernel", self.name,
+                            (kernel.name, duration))
+            span.set(modeled_s=duration)
         done.succeed(result)
 
     def utilization(self, elapsed: float | None = None) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import GPUError
+from ..obs.spans import collector_for
 from ..sim import Engine, Event, Resource
 from ..units import MiB, USEC
 
@@ -71,29 +72,43 @@ class DMAEngine:
     protocol exploits.
     """
 
-    def __init__(self, engine: Engine, model: PCIeModel):
+    def __init__(self, engine: Engine, model: PCIeModel,
+                 name: str = "dma"):
         self.engine = engine
         self.model = model
+        self.name = name
         self._lock = Resource(engine, capacity=1)
         #: Total busy seconds, for utilization accounting.
         self.busy_time = 0.0
         self.transfers = 0
         self.bytes_copied = 0
 
-    def copy(self, nbytes: int, pinned: bool = True) -> Event:
-        """Start one host<->device copy; the event fires on completion."""
+    def copy(self, nbytes: int, pinned: bool = True, ctx=None) -> Event:
+        """Start one host<->device copy; the event fires on completion.
+
+        ``ctx`` is an optional parent :class:`~repro.obs.SpanContext`:
+        when tracing is on, the copy records a ``dma.copy`` child span
+        covering queueing-for-the-engine plus the transfer itself.
+        """
         if nbytes < 0:
             raise GPUError(f"negative copy size: {nbytes!r}")
         done = self.engine.event()
-        self.engine.process(self._run(nbytes, pinned, done), name="dma")
+        self.engine.process(self._run(nbytes, pinned, done, ctx), name="dma")
         return done
 
-    def _run(self, nbytes: int, pinned: bool, done: Event):
+    def _run(self, nbytes: int, pinned: bool, done: Event, ctx=None):
+        span = collector_for(self.engine).start(
+            "dma.copy", self.name, parent=ctx,
+            nbytes=nbytes, pinned=pinned) if ctx is not None else None
         yield self._lock.acquire()
+        if span:
+            span.event("engine_acquired")
         duration = self.model.copy_time(nbytes, pinned)
         yield self.engine.timeout(duration)
         self.busy_time += duration
         self.transfers += 1
         self.bytes_copied += nbytes
         self._lock.release()
+        if span:
+            span.finish()
         done.succeed(None)

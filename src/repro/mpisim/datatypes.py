@@ -43,7 +43,12 @@ class Phantom:
 
 
 def payload_nbytes(payload: _t.Any) -> int:
-    """Byte size of ``payload`` for transfer-time accounting."""
+    """Byte size of ``payload`` for transfer-time accounting.
+
+    An object may define ``wire_sized()`` returning the value to measure
+    in its place — used by frames carrying out-of-band metadata (e.g. a
+    trace span context) that must not change simulated transfer times.
+    """
     if payload is None:
         return 0
     if isinstance(payload, Phantom):
@@ -52,6 +57,9 @@ def payload_nbytes(payload: _t.Any) -> int:
         return int(payload.nbytes)
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
+    sized = getattr(payload, "wire_sized", None)
+    if sized is not None:
+        payload = sized()
     return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import typing as _t
 
 from ..errors import NetworkError
+from ..obs.spans import collector_for
 from ..sim import BandwidthShare, Engine, Event, Resource, Tracer, NULL_TRACER
 from .models import LinkModel
 
@@ -78,6 +79,7 @@ class Fabric:
         self.model = model
         self.tracer = tracer
         self.endpoints: dict[str, Endpoint] = {}
+        self._obs = collector_for(engine)
         self._core: BandwidthShare | None = None
         #: Running totals for utilization analysis.
         self.bytes_moved = 0
@@ -138,34 +140,40 @@ class Fabric:
 
     def _flow(self, tx: Transmission, weight: float):
         model = self.model
-        # 1. The sender NIC drains its queue FIFO: it is held for the
-        #    injection overhead and the wire transmission of this message.
-        #    This keeps queued messages (e.g. pipeline blocks) arriving
-        #    back-to-back instead of fair-sharing against each other.
-        yield tx.src.nic.acquire()
-        inj = model.injection_overhead_s if tx.injection_s is None else tx.injection_s
-        yield self.engine.timeout(inj)
-        tx.injected.succeed(None)
-        # 2. Wire transmission through the receiver's share: concurrent
-        #    senders into one endpoint split its bandwidth fairly, and the
-        #    resulting backpressure keeps this NIC busy longer.  With a
-        #    finite switch core, inter-node flows traverse it as well and
-        #    proceed at the slower of the two stages.
-        if tx.nbytes > 0:
-            rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
-            if self._core is not None and tx.src is not tx.dst:
-                yield self.engine.all_of(
-                    [rx_done, self._core.transfer(tx.nbytes, weight)])
-            else:
-                yield rx_done
-        tx.src.nic.release()
-        # 3. Propagation latency (not a NIC resource).
-        if tx.src is not tx.dst and model.latency_s > 0:
-            yield self.engine.timeout(model.latency_s)
-        self.bytes_moved += tx.nbytes
-        self.messages_sent += 1
-        self.tracer.log(self.engine.now, "net.delivered",
-                        f"{tx.src.name}->{tx.dst.name}", tx.nbytes)
+        # Fabric flows root their own traces (no request context reaches
+        # this layer); each endpoint gets its own timeline row.
+        with self._obs.start("net.flow", tx.src.name,
+                             dst=tx.dst.name, nbytes=tx.nbytes) as span:
+            # 1. The sender NIC drains its queue FIFO: it is held for the
+            #    injection overhead and the wire transmission of this
+            #    message.  This keeps queued messages (e.g. pipeline
+            #    blocks) arriving back-to-back instead of fair-sharing
+            #    against each other.
+            yield tx.src.nic.acquire()
+            inj = model.injection_overhead_s if tx.injection_s is None else tx.injection_s
+            yield self.engine.timeout(inj)
+            tx.injected.succeed(None)
+            span.event("injected")
+            # 2. Wire transmission through the receiver's share: concurrent
+            #    senders into one endpoint split its bandwidth fairly, and
+            #    the resulting backpressure keeps this NIC busy longer.
+            #    With a finite switch core, inter-node flows traverse it as
+            #    well and proceed at the slower of the two stages.
+            if tx.nbytes > 0:
+                rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
+                if self._core is not None and tx.src is not tx.dst:
+                    yield self.engine.all_of(
+                        [rx_done, self._core.transfer(tx.nbytes, weight)])
+                else:
+                    yield rx_done
+            tx.src.nic.release()
+            # 3. Propagation latency (not a NIC resource).
+            if tx.src is not tx.dst and model.latency_s > 0:
+                yield self.engine.timeout(model.latency_s)
+            self.bytes_moved += tx.nbytes
+            self.messages_sent += 1
+            self.tracer.log(self.engine.now, "net.delivered",
+                            f"{tx.src.name}->{tx.dst.name}", tx.nbytes)
         tx.delivered.succeed(None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

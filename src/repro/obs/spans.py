@@ -1,0 +1,378 @@
+"""Span-based tracing for the middleware request path.
+
+A *span* is one timed phase of a request — ``client.memcpy_h2d`` on the
+front-end, ``daemon.memcpy_h2d`` on the back-end, ``net.recv`` while a
+data block is on the wire, ``dma`` while the PCIe engine moves it.  Spans
+carry a :class:`SpanContext` (trace id + span id); the context of a
+front-end span rides the :class:`~repro.core.protocol.Request` frame to
+the daemon, whose spans become *children* on the same trace id, so one
+remote operation decomposes into its injection / network / staging / DMA
+phases end to end.
+
+All timestamps are **virtual** times read from the simulation engine.
+Recording a span never yields, never schedules an event, and never
+advances the clock — tracing on or off, the simulation timeline is
+bit-identical (asserted by ``tests/obs/test_identity.py``).
+
+Disabled tracing follows the ``NULL_TRACER`` pattern of
+:mod:`repro.sim.trace`: :meth:`TraceCollector.start` returns the shared
+:data:`NULL_SPAN` whose methods all no-op, so hot paths pay one enabled
+check per operation and nothing else.
+
+Collectors are looked up per engine with :func:`collector_for` — every
+component of one simulation shares one collector, exactly like they share
+one clock.  :func:`trace_session` turns tracing on globally for a block
+of code (the ``python -m repro trace`` CLI uses it to trace experiments
+that build their own clusters internally).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import typing as _t
+import weakref
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Engine
+
+
+class SpanContext(_t.NamedTuple):
+    """Wire-portable identity of one span: ``(trace_id, span_id)``."""
+
+    trace_id: int
+    span_id: int
+
+
+class SpanEvent(_t.NamedTuple):
+    """A timestamped point annotation inside a span (retry, failover...)."""
+
+    time: float
+    name: str
+    attrs: dict
+
+
+class Span:
+    """One timed phase of a request, on one actor's timeline.
+
+    Spans are created through :meth:`TraceCollector.start` (or
+    :meth:`child`), finished explicitly with :meth:`finish` or by using
+    the span as a context manager — which also closes it when an
+    exception (including a process interrupt) unwinds the enclosing
+    generator, so failed branches cannot leak open spans.
+    """
+
+    __slots__ = ("collector", "name", "category", "actor", "trace_id",
+                 "span_id", "parent_id", "start", "end", "attrs", "events")
+
+    def __init__(self, collector: "TraceCollector", name: str, actor: str,
+                 trace_id: int, span_id: int, parent_id: int | None,
+                 start: float, attrs: dict):
+        self.collector = collector
+        self.name = name
+        #: Chrome-trace category: the part of ``name`` before the first dot.
+        self.category = name.split(".", 1)[0]
+        self.actor = actor
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+        self.events: list[SpanEvent] = []
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def wire(self) -> tuple[int, int]:
+        """The context as a plain tuple, for riding a Request frame."""
+        return (self.trace_id, self.span_id)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Span length; an open span extends to the collector's clock."""
+        return (self.end if self.end is not None
+                else self.collector.now) - self.start
+
+    # -- recording --------------------------------------------------------
+    def event(self, name: str, **attrs: _t.Any) -> None:
+        """Record a timestamped point annotation on this span."""
+        self.events.append(SpanEvent(self.collector.now, name, attrs))
+
+    def set(self, **attrs: _t.Any) -> None:
+        """Attach attributes to the span."""
+        self.attrs.update(attrs)
+
+    def child(self, name: str, actor: str | None = None,
+              **attrs: _t.Any) -> "Span | NullSpan":
+        """Open a child span (same trace id)."""
+        return self.collector.start(name, actor or self.actor,
+                                    parent=self.context, **attrs)
+
+    def finish(self, **attrs: _t.Any) -> None:
+        """Close the span at the current virtual time (idempotent)."""
+        if self.end is None:
+            if attrs:
+                self.attrs.update(attrs)
+            self.end = self.collector.now
+            self.collector._open.discard(self)
+
+    # -- context manager --------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self.end is None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self.finish()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.open else f"{self.duration * 1e6:.1f}us"
+        return (f"<Span {self.name} t{self.trace_id}/s{self.span_id} "
+                f"@{self.actor} {state}>")
+
+
+class NullSpan:
+    """The disabled-tracing span: every method no-ops.
+
+    A single shared instance (:data:`NULL_SPAN`) is returned by disabled
+    collectors so instrumented code never branches on "is tracing on".
+    """
+
+    __slots__ = ()
+
+    context = None
+    wire = None
+    events: list = []
+    attrs: dict = {}
+    open = False
+    duration = 0.0
+
+    def event(self, name: str, **attrs: _t.Any) -> None:
+        pass
+
+    def set(self, **attrs: _t.Any) -> None:
+        pass
+
+    def child(self, name: str, actor: str | None = None,
+              **attrs: _t.Any) -> "NullSpan":
+        return self
+
+    def finish(self, **attrs: _t.Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullSpan>"
+
+
+#: Shared no-op span returned whenever tracing is disabled.
+NULL_SPAN = NullSpan()
+
+
+def span_wire(span: "Span | NullSpan") -> tuple[int, int] | None:
+    """The ``Request.trace`` payload for a span (None when disabled)."""
+    return span.wire
+
+
+def context_from_wire(wire: tuple[int, int] | None) -> SpanContext | None:
+    """Rebuild a :class:`SpanContext` from a Request's ``trace`` field."""
+    return SpanContext(*wire) if wire else None
+
+
+class TraceCollector:
+    """Per-engine span store, sharing the engine's virtual clock.
+
+    One collector serves every component built against one engine — the
+    front-ends, daemons, DMA engines, and the fabric all
+    :func:`collector_for` the same instance, exactly like they share the
+    clock.  ``enabled`` may be flipped at any time; components cache the
+    collector object, not its state, so enabling after cluster
+    construction works.
+    """
+
+    def __init__(self, engine: "Engine", enabled: bool = False):
+        self.enabled = enabled
+        # A weak reference: collectors live in a WeakKeyDictionary keyed
+        # by engine, so a strong back-reference would pin the entry (and
+        # the whole simulation) forever.
+        self._engine_ref = weakref.ref(engine)
+        self.spans: list[Span] = []
+        self._open: set[Span] = set()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._adopted: SpanContext | None = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        engine = self._engine_ref()
+        return engine.now if engine is not None else 0.0
+
+    # -- span creation ----------------------------------------------------
+    def start(self, name: str, actor: str,
+              parent: "SpanContext | Span | None" = None,
+              **attrs: _t.Any) -> "Span | NullSpan":
+        """Open a span; returns :data:`NULL_SPAN` when disabled.
+
+        Without an explicit ``parent`` the span adopts any context staged
+        by :meth:`adopt_parent` (consumed), else it roots a new trace.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            parent, self._adopted = self._adopted, None
+        if isinstance(parent, Span):
+            parent = parent.context
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = next(self._trace_ids), None
+        span = Span(self, name, actor, trace_id, next(self._span_ids),
+                    parent_id, self.now, attrs)
+        self.spans.append(span)
+        self._open.add(span)
+        return span
+
+    def adopt_parent(self, ctx: "SpanContext | None") -> None:
+        """Stage a parent context for the *next* :meth:`start` call.
+
+        The simulation is cooperatively scheduled, so a stage-then-start
+        pair executed without an intervening yield is race-free.  The
+        :class:`~repro.core.stream.Stream` pump uses this to parent the
+        front-end's op span under its frame span without threading a
+        context argument through every ``ac*`` signature.
+        """
+        if self.enabled:
+            self._adopted = ctx
+
+    def clear_adopted(self) -> None:
+        """Drop a staged parent that was never consumed (error paths)."""
+        self._adopted = None
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def open_spans(self) -> list[Span]:
+        return sorted(self._open, key=lambda s: s.span_id)
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def by_trace(self, trace_id: int) -> list[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans
+                if s.trace_id == span.trace_id and s.parent_id == span.span_id]
+
+    # -- lifecycle --------------------------------------------------------
+    def abort_open(self, reason: str) -> int:
+        """Close every open span, marking it aborted; returns the count.
+
+        Called when a request path is torn down abnormally (a
+        ``run_parallel`` branch died, a sync call was interrupted) so the
+        export never contains dangling spans.
+        """
+        aborted = list(self._open)
+        for span in aborted:
+            span.attrs.setdefault("aborted", reason)
+            span.finish()
+        self.clear_adopted()
+        return len(aborted)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._open.clear()
+        self._adopted = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return (f"<TraceCollector {state} spans={len(self.spans)} "
+                f"open={len(self._open)}>")
+
+
+#: engine -> collector.  Weak keys: a collector must not outlive (or pin)
+#: its simulation.
+_collectors: "weakref.WeakKeyDictionary[Engine, TraceCollector]" = (
+    weakref.WeakKeyDictionary())
+
+#: When True (inside a :func:`trace_session`), collectors are born enabled.
+_default_enabled = False
+
+#: The active session accumulating strong references to collectors of
+#: engines created while it is open (engines are transient per experiment).
+_active_session: "TraceSession | None" = None
+
+
+def collector_for(engine: "Engine") -> TraceCollector:
+    """The engine's span collector (created disabled on first use)."""
+    col = _collectors.get(engine)
+    if col is None:
+        col = TraceCollector(engine, enabled=_default_enabled)
+        _collectors[engine] = col
+        if _active_session is not None:
+            _active_session.collectors.append(col)
+    return col
+
+
+def enable_tracing(engine: "Engine") -> TraceCollector:
+    """Turn span collection on for one engine; returns its collector."""
+    col = collector_for(engine)
+    col.enabled = True
+    return col
+
+
+class TraceSession:
+    """Collects spans from every engine created while the session is open.
+
+    Experiments build clusters (and therefore engines) internally; the
+    session flips the global default so those engines' collectors are
+    born enabled, and keeps strong references so their spans survive the
+    engines themselves.  Collectors are exported as separate Chrome-trace
+    processes (each engine has its own virtual clock).
+    """
+
+    def __init__(self) -> None:
+        self.collectors: list[TraceCollector] = []
+
+    def span_count(self) -> int:
+        return sum(len(c.spans) for c in self.collectors)
+
+    def to_chrome_trace(self) -> dict:
+        from .export import chrome_trace
+        return chrome_trace(self.collectors)
+
+    def render_timeline(self, width: int = 100) -> str:
+        from .export import render_timeline
+        return "\n\n".join(
+            render_timeline(col, width=width)
+            for col in self.collectors if col.spans) or "(no spans recorded)"
+
+
+@contextlib.contextmanager
+def trace_session() -> _t.Iterator[TraceSession]:
+    """Enable tracing for every engine created inside the block."""
+    global _default_enabled, _active_session
+    session = TraceSession()
+    prev_enabled, prev_session = _default_enabled, _active_session
+    _default_enabled, _active_session = True, session
+    try:
+        yield session
+    finally:
+        _default_enabled, _active_session = prev_enabled, prev_session

@@ -1,0 +1,30 @@
+"""Fixtures: a small traced cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.obs import enable_tracing
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(paper_testbed(n_compute=1, n_accelerators=2))
+
+
+@pytest.fixture
+def sess(cluster):
+    return cluster.session()
+
+
+@pytest.fixture
+def collector(cluster):
+    """The cluster engine's span collector, enabled."""
+    return enable_tracing(cluster.engine)
+
+
+@pytest.fixture
+def ac(cluster, sess):
+    """One allocated RemoteAccelerator front-end."""
+    client = cluster.arm_client(0)
+    handles = sess.call(client.alloc(count=1))
+    return cluster.remote(0, handles[0])
