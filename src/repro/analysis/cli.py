@@ -7,12 +7,20 @@ Usage::
     python -m repro run all --quick
     python -m repro trace fig05 [--quick] [--out trace.json] [--timeline]
                                 [--check-identity]
+    python -m repro perf [--quick] [--json BENCH.json] [--against OLD.json]
+                         [--check BASELINE.json]
 
 ``trace`` runs one experiment with span tracing enabled and exports the
 result as Chrome trace-event JSON (load it in ``chrome://tracing`` or
 https://ui.perfetto.dev) and/or an ASCII timeline.  ``--check-identity``
 re-runs the experiment untraced and asserts both produce identical
 numbers — tracing must never perturb virtual time.
+
+``perf`` measures *host* wall-clock performance of the simulator itself
+(see :mod:`repro.perf`): ``--json`` writes a ``BENCH_*.json`` document,
+``--against`` embeds an older document as the baseline (with speedups),
+and ``--check`` exits non-zero if a gated benchmark regressed beyond its
+tolerance — the CI perf-smoke job runs exactly that.
 """
 
 from __future__ import annotations
@@ -136,11 +144,24 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="print an ASCII span timeline")
     tracep.add_argument("--check-identity", action="store_true",
                         help="re-run untraced and assert identical results")
+    perfp = sub.add_parser(
+        "perf", help="run the wall-clock benchmark suite")
+    perfp.add_argument("--quick", action="store_true",
+                       help="smaller sizes / fewer reps (CI smoke)")
+    perfp.add_argument("--json", dest="json_path", default=None,
+                       help="write the BENCH_*.json document here")
+    perfp.add_argument("--against", default=None,
+                       help="older BENCH_*.json to embed as baseline")
+    perfp.add_argument("--check", default=None,
+                       help="baseline BENCH_*.json for the regression gate")
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
         list_experiments()
         return 0
+    if args.cmd == "perf":
+        from ..perf.suite import main_run
+        return main_run(args.quick, args.json_path, args.against, args.check)
     if args.cmd == "trace":
         trace_experiment(args.experiment, quick=args.quick,
                          out_path=args.out_path, timeline=args.timeline,

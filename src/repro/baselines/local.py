@@ -18,6 +18,7 @@ import typing as _t
 
 import numpy as np
 
+from ..buffers import zero_copy_enabled
 from ..errors import MiddlewareError
 from ..gpusim import GPUDevice
 from ..mpisim import Phantom, payload_nbytes
@@ -121,10 +122,14 @@ class LocalAccelerator(AcceleratorLifecycle):
             self.bytes_d2h += nbytes
             if alloc.data is None:
                 return Phantom(nbytes)
+            # Zero-copy downloads return read-only loaned snapshot views
+            # (allocation-level COW keeps them stable); callers that need
+            # to mutate take the same .copy() the old code always paid.
+            copy = not zero_copy_enabled()
             if (offset == 0 and alloc.dtype is not None and alloc.shape is not None
                     and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
-                return self.gpu.memory.read_array(src)
-            return self.gpu.memory.read(src, offset, nbytes)
+                return self.gpu.memory.read_array(src, copy=copy)
+            return self.gpu.memory.read(src, offset, nbytes, copy=copy)
 
     def peer_put(self, src: int, nbytes: int, peer: _t.Any, peer_addr: int,
                  transfer: _t.Any = None):

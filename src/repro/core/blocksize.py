@@ -11,6 +11,7 @@ them.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing as _t
 
 from ..errors import MiddlewareError
@@ -106,15 +107,29 @@ class TransferConfig:
         return "naive" if self.protocol == "naive" else self.policy.name
 
     def plan_blocks(self, nbytes: int, direction: str) -> list[tuple[int, int]]:
-        """(offset, size) blocks for a transfer of ``nbytes``."""
+        """(offset, size) blocks for a transfer of ``nbytes``.
+
+        Plans are memoized per (config, size, direction): the hot loops
+        copy the same few payload sizes thousands of times, and for a
+        multi-hundred-block large transfer re-planning costs more host
+        time than the request bookkeeping itself.  The returned list is
+        shared — treat it as read-only (every consumer only iterates).
+        """
         if nbytes < 0:
             raise MiddlewareError(f"negative transfer size: {nbytes!r}")
-        if nbytes == 0:
-            return []
-        if self.protocol == "naive":
-            return [(0, nbytes)]
-        bs = self.policy.block_bytes(nbytes, direction)
-        return [(off, min(bs, nbytes - off)) for off in range(0, nbytes, bs)]
+        return _plan_blocks_cached(self, int(nbytes), direction)
+
+
+@functools.lru_cache(maxsize=4096)
+def _plan_blocks_cached(cfg: "TransferConfig", nbytes: int,
+                        direction: str) -> list[tuple[int, int]]:
+    """Memoized block planning (frozen configs and policies are hashable)."""
+    if nbytes == 0:
+        return []
+    if cfg.protocol == "naive":
+        return [(0, nbytes)]
+    bs = cfg.policy.block_bytes(nbytes, direction)
+    return [(off, min(bs, nbytes - off)) for off in range(0, nbytes, bs)]
 
 
 #: Default configuration: the paper's tuned adaptive pipeline.

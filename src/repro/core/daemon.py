@@ -27,6 +27,7 @@ import typing as _t
 
 import numpy as np
 
+from ..buffers import ChunkView, zero_copy_enabled
 from ..errors import DeviceMemoryError, KernelError
 from ..mpisim import Phantom, RankHandle
 from ..obs.spans import NULL_SPAN, collector_for, context_from_wire
@@ -101,6 +102,8 @@ class Daemon:
         #: transfer handlers parent their network / staging / DMA child
         #: spans under it.
         self._cur_span = NULL_SPAN
+        #: Dispatch table built once — _serve() consults it per request.
+        self._handler_map = self._handlers()
         self.proc = self.engine.process(self._serve(), name=f"daemon:{node.name}")
 
     # -- main loop ------------------------------------------------------
@@ -143,14 +146,16 @@ class Daemon:
                     yield from self._drain_data(req, msg.source)
                     self._reply(req, cached, dedup=True)
                 continue
-            handler = self._handlers().get(req.op)
+            handler = self._handler_map.get(req.op)
             if handler is None:
                 self._reply(req, Response(req.req_id, Status.ERROR,
                                           error=f"unsupported op {req.op}"))
                 continue
-            span = self._obs.start(f"daemon.{req.op.value}", self.node.name,
-                                   parent=context_from_wire(req.trace),
-                                   req_id=req.req_id)
+            obs = self._obs
+            span = (obs.start(f"daemon.{req.op.value}", self.node.name,
+                              parent=context_from_wire(req.trace),
+                              req_id=req.req_id)
+                    if obs.enabled else NULL_SPAN)
             self._cur_span = span
             try:
                 with span:
@@ -313,14 +318,18 @@ class Daemon:
                 with self._cur_span.child("staging", block=i, nbytes=size):
                     yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
             self.stats.stage(size)
-            ev = self.gpu.dma.copy(size, pinned=pinned,
-                                   ctx=self._cur_span.context)
             chunk = msg.payload
             is_real = not isinstance(chunk, Phantom)
+            # The received chunk is a view over the sender's buffer (or a
+            # snapshot when the zero-copy plane is off); the DMA engine
+            # models time only, so nothing is staged host-side — the one
+            # physical copy is the write into the device backing store.
+            ev = self.gpu.dma.copy_view(chunk, pinned=pinned,
+                                        ctx=self._cur_span.context)
 
             def _on_dma(_ev, off=off, size=size, chunk=chunk, is_real=is_real):
                 if is_real:
-                    self.gpu.memory.write(dst, base + off, np.asarray(chunk))
+                    self.gpu.memory.write(dst, base + off, chunk)
                 self.stats.unstage(size)
 
             ev.add_callback(_on_dma)
@@ -361,6 +370,14 @@ class Daemon:
                 and nbytes == alloc.dtype.itemsize * int(np.prod(alloc.shape))):
             meta = (alloc.dtype.str, alloc.shape)
         block_post = p.get("block_post_s")
+        # Zero-copy staging: loan the whole outgoing region once and send
+        # per-block subviews of it.  The daemon serves requests strictly
+        # in order, so device contents cannot change mid-handler; later
+        # mutations trigger allocation-level COW, keeping in-flight and
+        # client-held views stable snapshots.
+        region: ChunkView | None = None
+        if is_real and zero_copy_enabled():
+            region = self.gpu.memory.read_chunk(src_addr, base, nbytes)
         for i, (off, size) in enumerate(blocks):
             # The pinned-ring slot is occupied from the start of the
             # device-to-pinned DMA until the NIC has drained it (send
@@ -371,7 +388,8 @@ class Daemon:
             if not gpudirect:
                 with self._cur_span.child("staging", block=i, nbytes=size):
                     yield self.engine.timeout(size / self.cpu.memcpy_bw_Bps)
-            chunk: _t.Any = (self.gpu.memory.read(src_addr, base + off, size)
+            chunk: _t.Any = (region.subview(off, size) if region is not None
+                             else self.gpu.memory.read(src_addr, base + off, size)
                              if is_real else Phantom(size))
             # Non-blocking: the send of block k overlaps the DMA of k+1;
             # sends come from the pre-registered pinned ring (cheap post).
@@ -421,10 +439,14 @@ class Daemon:
                       trace=self._cur_span.wire)
         self.rank.isend(peer_rank, TAG_REQUEST, fwd)
         block_post = p.get("block_post_s")
+        region: ChunkView | None = None
+        if is_real and zero_copy_enabled():
+            region = self.gpu.memory.read_chunk(src_addr, 0, nbytes)
         for off, size in blocks:
             yield self.gpu.dma.copy(size, pinned=pinned,
                                     ctx=self._cur_span.context)
-            chunk: _t.Any = (self.gpu.memory.read(src_addr, off, size)
+            chunk: _t.Any = (region.subview(off, size) if region is not None
+                             else self.gpu.memory.read(src_addr, off, size)
                              if is_real else Phantom(size))
             self.rank.isend(peer_rank, dtag, chunk, eager=True,
                             injection_s=block_post)

@@ -40,6 +40,19 @@ def next_request_id() -> int:
     return next(_req_ids)
 
 
+def reset_request_ids() -> None:
+    """Restart the request-id stream at 1 (for test harnesses).
+
+    Control frames are sized by pickling and a pickled int grows with
+    its magnitude, so *absolute* virtual times are only comparable
+    across two independently built rigs when both draw the same id
+    sequence.  The A/B identity harness resets before each run;
+    production code never calls this.
+    """
+    global _req_ids
+    _req_ids = itertools.count(1)
+
+
 def reply_tag(req_id: int) -> int:
     return _REPLY_BASE + (req_id % _REPLY_SPAN)
 

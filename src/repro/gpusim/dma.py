@@ -16,10 +16,12 @@ large messages (the Figure 5 crossover).
 from __future__ import annotations
 
 import dataclasses
+import heapq
 
 from ..errors import GPUError
 from ..obs.spans import collector_for
 from ..sim import Engine, Event, Resource
+from ..sim.events import Timeout
 from ..units import MiB, USEC
 
 
@@ -92,9 +94,51 @@ class DMAEngine:
         """
         if nbytes < 0:
             raise GPUError(f"negative copy size: {nbytes!r}")
-        done = self.engine.event()
-        self.engine.process(self._run(nbytes, pinned, done, ctx), name="dma")
+        if ctx is not None:
+            done = self.engine.event()
+            self.engine.process(self._run(nbytes, pinned, done, ctx),
+                                name="dma")
+            return done
+        # Untraced fast path: the generator above costs a Process, a
+        # kickoff event, and a completion Timeout *per pipeline block*.
+        # This callback chain schedules the completion event directly.
+        # Copy ordering cannot change: the engine's lock is private to
+        # this GPU and its daemon issues copies strictly in handler
+        # order either way.
+        engine = self.engine
+        done = Event(engine)
+        duration = self.model.copy_time(nbytes, pinned)
+
+        def _finish(_ev, duration=duration, nbytes=nbytes):
+            # Registered at creation so it runs before caller callbacks,
+            # like the generator's release-then-succeed ordering.
+            self.busy_time += duration
+            self.transfers += 1
+            self.bytes_copied += nbytes
+            self._lock.release()
+
+        done.callbacks = [_finish]
+
+        def _granted(_ev, done=done, duration=duration):
+            done._ok = True
+            done._value = None
+            done._scheduled = True
+            heapq.heappush(engine._heap,
+                           (engine.now + duration, next(engine._seq), done))
+
+        self._lock.acquire().add_callback(_granted)
         return done
+
+    def copy_view(self, view, pinned: bool = True, ctx=None) -> Event:
+        """Start a copy sized by a buffer view (zero-copy variant).
+
+        ``view`` is anything with ``nbytes`` — a
+        :class:`~repro.buffers.ChunkView`, numpy view, or Phantom.  The
+        DMA engine only models *time*; passing the view instead of a
+        materialized buffer means a per-block pipeline DMA allocates no
+        staging bytes at all.
+        """
+        return self.copy(int(view.nbytes), pinned=pinned, ctx=ctx)
 
     def _run(self, nbytes: int, pinned: bool, done: Event, ctx=None):
         span = collector_for(self.engine).start(
@@ -104,7 +148,7 @@ class DMAEngine:
         if span:
             span.event("engine_acquired")
         duration = self.model.copy_time(nbytes, pinned)
-        yield self.engine.timeout(duration)
+        yield Timeout(self.engine, duration)
         self.busy_time += duration
         self.transfers += 1
         self.bytes_copied += nbytes

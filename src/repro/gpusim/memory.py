@@ -17,17 +17,19 @@ Invariants (exercised by the property tests):
 
 from __future__ import annotations
 
+import sys
 import typing as _t
 
 import numpy as np
 
+from ..buffers import ChunkView, chunk_payload, copy_stats
 from ..errors import DeviceMemoryError
 
 
 class Allocation:
     """One live device allocation."""
 
-    __slots__ = ("addr", "nbytes", "data", "dtype", "shape")
+    __slots__ = ("addr", "nbytes", "data", "dtype", "shape", "_loaned")
 
     def __init__(self, addr: int, nbytes: int):
         self.addr = addr
@@ -35,11 +37,50 @@ class Allocation:
         self.data: np.ndarray | None = None  # lazy uint8 backing store
         self.dtype: np.dtype | None = None
         self.shape: tuple[int, ...] | None = None
+        #: True while zero-copy read views over ``data`` may be outstanding
+        #: (D2H staging, downloads handed to the application).
+        self._loaned = False
 
     def backing(self) -> np.ndarray:
         if self.data is None:
             self.data = np.zeros(self.nbytes, dtype=np.uint8)
         return self.data
+
+    def writable(self) -> np.ndarray:
+        """Backing store for *mutation* — the allocation-level COW point.
+
+        While read views are loaned out (zero-copy D2H), the first
+        mutation repoints this allocation at a private copy of its bytes
+        and leaves the old buffer to the views, which therefore keep the
+        snapshot semantics a copying ``read()`` used to provide.
+        """
+        buf = self.backing()
+        if self._loaned:
+            # Refcount probe: every live view into the backing (loans
+            # and anything derived from them) holds a reference to it,
+            # so if the count is back to baseline — self.data, the
+            # local here, and getrefcount's own argument — the snapshot
+            # obligation has lapsed and the buffer can be reused in
+            # place.  Buffers cycled through upload/download every pass
+            # would otherwise pay a full-allocation copy per reuse.
+            if sys.getrefcount(buf) > 3:
+                copy_stats.count_cow(buf.nbytes)
+                self.data = buf.copy()
+                buf = self.data
+            self._loaned = False
+        return buf
+
+    def loan(self, offset: int, nbytes: int) -> np.ndarray:
+        """A read-only view of ``nbytes`` at ``offset`` (zero copy).
+
+        The view stays valid as a snapshot of the current contents: any
+        later mutation of the allocation goes through :meth:`writable`
+        and copies the backing first.
+        """
+        view = self.backing()[offset:offset + nbytes]
+        view.flags.writeable = False
+        self._loaned = True
+        return view
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Allocation @{self.addr:#x} {self.nbytes}B>"
@@ -129,20 +170,37 @@ class DeviceMemory:
         except KeyError:
             raise DeviceMemoryError(f"unknown device address {addr:#x}") from None
 
-    def write(self, addr: int, offset: int, data: bytes | np.ndarray) -> None:
-        """Write raw bytes at ``addr + offset``."""
+    def write(self, addr: int, offset: int,
+              data: bytes | np.ndarray | ChunkView) -> None:
+        """Write raw bytes at ``addr + offset``.
+
+        This is the one physical payload copy the architecture requires
+        (network buffer -> device backing store); ``data`` may be a
+        :class:`~repro.buffers.ChunkView`, whose bytes are read in place.
+        """
         alloc = self.allocation(addr)
-        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) \
-            else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if isinstance(data, (bytes, bytearray)):
+            buf = np.frombuffer(data, dtype=np.uint8)
+        else:
+            buf = chunk_payload(data)
         if offset < 0 or offset + buf.nbytes > alloc.nbytes:
             raise DeviceMemoryError(
                 f"write of {buf.nbytes}B at offset {offset} exceeds "
                 f"allocation of {alloc.nbytes}B"
             )
-        alloc.backing()[offset:offset + buf.nbytes] = buf
+        copy_stats.count_device_write(buf.nbytes)
+        alloc.writable()[offset:offset + buf.nbytes] = buf
 
-    def read(self, addr: int, offset: int = 0, nbytes: int | None = None) -> np.ndarray:
-        """Read raw bytes from ``addr + offset`` (a copy, dtype uint8)."""
+    def read(self, addr: int, offset: int = 0, nbytes: int | None = None,
+             copy: bool = True) -> np.ndarray:
+        """Read raw bytes from ``addr + offset`` (dtype uint8).
+
+        ``copy=True`` (the public-API default) returns a private mutable
+        copy.  ``copy=False`` returns a read-only *loaned view* over the
+        backing store — zero copy; allocation-level copy-on-write keeps
+        it a stable snapshot even if device memory is mutated later.
+        The daemon's D2H staging path uses the view variant.
+        """
         alloc = self.allocation(addr)
         if nbytes is None:
             nbytes = alloc.nbytes - offset
@@ -151,7 +209,16 @@ class DeviceMemory:
                 f"read of {nbytes}B at offset {offset} exceeds "
                 f"allocation of {alloc.nbytes}B"
             )
+        if not copy:
+            return alloc.loan(offset, nbytes)
+        copy_stats.count_payload_copy(nbytes)
         return alloc.backing()[offset:offset + nbytes].copy()
+
+    def read_chunk(self, addr: int, offset: int = 0,
+                   nbytes: int | None = None) -> ChunkView:
+        """Like ``read(copy=False)`` but wrapped as a transport-ready
+        :class:`~repro.buffers.ChunkView` (the D2H staging currency)."""
+        return ChunkView(self.read(addr, offset, nbytes, copy=False))
 
     def write_array(self, addr: int, array: np.ndarray) -> None:
         """Write a typed array at offset 0 and record its dtype/shape."""
@@ -161,7 +228,8 @@ class DeviceMemory:
             raise DeviceMemoryError(
                 f"array of {arr.nbytes}B does not fit allocation of {alloc.nbytes}B"
             )
-        alloc.backing()[: arr.nbytes] = arr.view(np.uint8).reshape(-1)
+        copy_stats.count_device_write(arr.nbytes)
+        alloc.writable()[: arr.nbytes] = arr.view(np.uint8).reshape(-1)
         alloc.dtype = arr.dtype
         alloc.shape = arr.shape
 
@@ -177,19 +245,12 @@ class DeviceMemory:
         alloc.dtype = dtype
         alloc.shape = tuple(shape)
 
-    def view(self, addr: int, dtype: np.dtype | str | None = None,
-             shape: tuple[int, ...] | None = None) -> np.ndarray:
-        """A mutable typed view of a buffer (zero copy).
-
-        Uses the recorded dtype/shape unless overridden.  Kernels mutate
-        device data through these views.
-        """
-        alloc = self.allocation(addr)
+    def _typed_extent(self, alloc: Allocation, dtype, shape) -> tuple[np.dtype, tuple, int]:
         dt = np.dtype(dtype) if dtype is not None else alloc.dtype
         shp = shape if shape is not None else alloc.shape
         if dt is None or shp is None:
             raise DeviceMemoryError(
-                f"buffer {addr:#x} has no recorded dtype/shape; "
+                f"buffer {alloc.addr:#x} has no recorded dtype/shape; "
                 "write_array() or set_array_meta() first"
             )
         n = dt.itemsize * int(np.prod(shp)) if shp else dt.itemsize
@@ -197,11 +258,34 @@ class DeviceMemory:
             raise DeviceMemoryError(
                 f"view of {n}B exceeds allocation of {alloc.nbytes}B"
             )
-        return alloc.backing()[:n].view(dt).reshape(shp)
+        return dt, shp, n
 
-    def read_array(self, addr: int) -> np.ndarray:
-        """A typed copy of a buffer using its recorded dtype/shape."""
-        return self.view(addr).copy()
+    def view(self, addr: int, dtype: np.dtype | str | None = None,
+             shape: tuple[int, ...] | None = None) -> np.ndarray:
+        """A mutable typed view of a buffer (zero copy).
+
+        Uses the recorded dtype/shape unless overridden.  Kernels mutate
+        device data through these views, so acquiring one is a mutation
+        point: outstanding loaned read views are detached first
+        (allocation-level copy-on-write).
+        """
+        alloc = self.allocation(addr)
+        dt, shp, n = self._typed_extent(alloc, dtype, shape)
+        return alloc.writable()[:n].view(dt).reshape(shp)
+
+    def read_array(self, addr: int, copy: bool = True) -> np.ndarray:
+        """A typed read of a buffer using its recorded dtype/shape.
+
+        ``copy=True`` (public-API default) returns a private mutable
+        copy; ``copy=False`` returns a read-only loaned snapshot view
+        (zero copy, protected by allocation-level copy-on-write).
+        """
+        alloc = self.allocation(addr)
+        dt, shp, n = self._typed_extent(alloc, None, None)
+        if not copy:
+            return alloc.loan(0, n).view(dt).reshape(shp)
+        copy_stats.count_payload_copy(n)
+        return alloc.backing()[:n].view(dt).reshape(shp).copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<DeviceMemory {self.used_bytes}/{self.capacity}B used, "

@@ -20,6 +20,8 @@ import typing as _t
 
 import numpy as np
 
+from ..buffers import ChunkView, copy_stats
+
 
 class Phantom:
     """A payload of declared size with no backing data (timing-only mode)."""
@@ -51,7 +53,7 @@ def payload_nbytes(payload: _t.Any) -> int:
     """
     if payload is None:
         return 0
-    if isinstance(payload, Phantom):
+    if isinstance(payload, (Phantom, ChunkView)):
         return payload.nbytes
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
@@ -67,13 +69,22 @@ def copy_for_send(payload: _t.Any) -> _t.Any:
     """Snapshot a payload so the sender can reuse its buffer immediately.
 
     Arrays are copied; immutable and phantom payloads are passed through.
-    Mutable containers are shallow-copied via pickle round-trip only when
-    small (control messages); large mutable structures should be arrays.
+    A :class:`~repro.buffers.ChunkView` is an *ownership transfer*, not a
+    copy: the view is immutable by contract and its backing buffer is
+    loaned to the transport until delivery, so "MPI copies at send time"
+    costs nothing physical on the zero-copy plane.  Mutable containers
+    are shallow-copied via pickle round-trip only when small (control
+    messages); large mutable structures should be arrays.
     """
+    if isinstance(payload, ChunkView):
+        return payload
     if isinstance(payload, np.ndarray):
+        copy_stats.count_payload_copy(payload.nbytes)
         return payload.copy()
     if isinstance(payload, bytearray):
+        copy_stats.count_payload_copy(len(payload))
         return bytes(payload)
     if isinstance(payload, memoryview):
+        copy_stats.count_payload_copy(payload.nbytes)
         return payload.tobytes()
     return payload

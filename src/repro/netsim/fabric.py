@@ -13,11 +13,13 @@ about (Sect. III-B).
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
 from ..errors import NetworkError
-from ..obs.spans import collector_for
+from ..obs.spans import NULL_SPAN, collector_for
 from ..sim import BandwidthShare, Engine, Event, Resource, Tracer, NULL_TRACER
+from ..sim.events import Timeout
 from .models import LinkModel
 
 
@@ -135,15 +137,87 @@ class Fabric:
         injected = self.engine.event()
         delivered = self.engine.event()
         tx = Transmission(src, dst, nbytes, injected, delivered, injection_s)
-        self.engine.process(self._flow(tx, weight), name=f"xfer:{src.name}->{dst.name}")
+        if self._obs.enabled or self.tracer.enabled:
+            # Static process name: one flow process per pipeline block
+            # makes per-flow f-string formatting measurable on large
+            # transfers.
+            self.engine.process(self._flow(tx, weight), name="net.flow")
+        else:
+            self._fast_flow(tx, weight)
         return tx
+
+    def _fast_flow(self, tx: Transmission, weight: float) -> None:
+        """Untraced flow as a callback chain (no generator Process).
+
+        Mirrors :meth:`_flow` stage for stage but saves the Process, its
+        kickoff event, and both Timeouts per message — which dominates
+        wall time on block-pipelined transfers.  Runs inside
+        :meth:`transfer` before the Transmission is returned, so the
+        internal continuations registered here always precede any client
+        callbacks on ``injected``/``delivered``.
+        """
+        model = self.model
+        engine = self.engine
+
+        def _delivered_first(_ev):
+            self.bytes_moved += tx.nbytes
+            self.messages_sent += 1
+
+        tx.delivered.callbacks = [_delivered_first]
+
+        def _drained(_ev):
+            tx.src.nic.release()
+            # Merged Timeout(latency) + delivered.succeed(): schedule the
+            # delivered event itself one wire latency out.
+            delivered = tx.delivered
+            delivered._ok = True
+            delivered._value = None
+            delivered._scheduled = True
+            delay = (model.latency_s
+                     if tx.src is not tx.dst and model.latency_s > 0
+                     else 0.0)
+            heapq.heappush(engine._heap,
+                           (engine.now + delay, next(engine._seq), delivered))
+
+        def _injected_first(_ev):
+            if tx.nbytes > 0:
+                rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
+                if self._core is not None and tx.src is not tx.dst:
+                    engine.all_of(
+                        [rx_done, self._core.transfer(tx.nbytes, weight)]
+                    ).add_callback(_drained)
+                else:
+                    rx_done.add_callback(_drained)
+            else:
+                _drained(None)
+
+        tx.injected.callbacks = [_injected_first]
+
+        def _granted(_ev):
+            # Merged Timeout(injection) + injected.succeed().
+            inj = (model.injection_overhead_s if tx.injection_s is None
+                   else tx.injection_s)
+            injected = tx.injected
+            injected._ok = True
+            injected._value = None
+            injected._scheduled = True
+            heapq.heappush(engine._heap,
+                           (engine.now + inj, next(engine._seq), injected))
+
+        tx.src.nic.acquire().add_callback(_granted)
 
     def _flow(self, tx: Transmission, weight: float):
         model = self.model
+        engine = self.engine
         # Fabric flows root their own traces (no request context reaches
-        # this layer); each endpoint gets its own timeline row.
-        with self._obs.start("net.flow", tx.src.name,
-                             dst=tx.dst.name, nbytes=tx.nbytes) as span:
+        # this layer); each endpoint gets its own timeline row.  Span
+        # construction is guarded (not just null-object'd): this runs per
+        # pipeline block, and the disabled case should pay one attribute
+        # load, not a kwargs dict.
+        obs = self._obs
+        span = (obs.start("net.flow", tx.src.name, dst=tx.dst.name,
+                          nbytes=tx.nbytes) if obs.enabled else NULL_SPAN)
+        with span:
             # 1. The sender NIC drains its queue FIFO: it is held for the
             #    injection overhead and the wire transmission of this
             #    message.  This keeps queued messages (e.g. pipeline
@@ -151,9 +225,10 @@ class Fabric:
             #    against each other.
             yield tx.src.nic.acquire()
             inj = model.injection_overhead_s if tx.injection_s is None else tx.injection_s
-            yield self.engine.timeout(inj)
+            yield Timeout(engine, inj)
             tx.injected.succeed(None)
-            span.event("injected")
+            if span is not NULL_SPAN:
+                span.event("injected")
             # 2. Wire transmission through the receiver's share: concurrent
             #    senders into one endpoint split its bandwidth fairly, and
             #    the resulting backpressure keeps this NIC busy longer.
@@ -162,18 +237,20 @@ class Fabric:
             if tx.nbytes > 0:
                 rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
                 if self._core is not None and tx.src is not tx.dst:
-                    yield self.engine.all_of(
+                    yield engine.all_of(
                         [rx_done, self._core.transfer(tx.nbytes, weight)])
                 else:
                     yield rx_done
             tx.src.nic.release()
             # 3. Propagation latency (not a NIC resource).
             if tx.src is not tx.dst and model.latency_s > 0:
-                yield self.engine.timeout(model.latency_s)
+                yield Timeout(engine, model.latency_s)
             self.bytes_moved += tx.nbytes
             self.messages_sent += 1
-            self.tracer.log(self.engine.now, "net.delivered",
-                            f"{tx.src.name}->{tx.dst.name}", tx.nbytes)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.log(engine.now, "net.delivered",
+                           f"{tx.src.name}->{tx.dst.name}", tx.nbytes)
         tx.delivered.succeed(None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,32 @@
+"""Wall-clock benchmark suite and its JSON schema.
+
+``python -m repro perf`` runs :func:`repro.perf.suite.run_suite`;
+``BENCH_*.json`` documents follow :mod:`repro.perf.schema`.
+"""
+
+from .schema import BenchSchemaError, SCHEMA, speedup, validate_bench
+from .suite import (
+    BENCHMARKS,
+    REGRESSION_GATES,
+    attach_baseline,
+    check_regressions,
+    load_json,
+    render,
+    run_suite,
+    write_json,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchSchemaError",
+    "REGRESSION_GATES",
+    "SCHEMA",
+    "attach_baseline",
+    "check_regressions",
+    "load_json",
+    "render",
+    "run_suite",
+    "speedup",
+    "validate_bench",
+    "write_json",
+]

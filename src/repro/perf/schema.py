@@ -1,0 +1,99 @@
+"""Schema of the wall-clock benchmark JSON (``BENCH_*.json``).
+
+One document records one suite run: host metadata, every benchmark's
+headline value (with its unit and direction), and — when the run was
+compared against an earlier document — the baseline values plus the
+resulting speedups.  The validator is deliberately dependency-free (no
+jsonschema): CI runs it on every artifact, and the checked-in baseline
+is validated by the test suite.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import MiddlewareError
+
+#: Document format marker; bump on breaking layout changes.
+SCHEMA = "repro-perf/1"
+
+#: Allowed ``better`` orientations for a benchmark value.
+BETTER = ("higher", "lower")
+
+
+class BenchSchemaError(MiddlewareError):
+    """A benchmark JSON document does not match the schema."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise BenchSchemaError(msg)
+
+
+def validate_benchmark(name: str, bench: _t.Any) -> None:
+    """Validate one entry of the ``benchmarks`` map."""
+    _require(isinstance(bench, dict), f"{name}: benchmark must be an object")
+    for key in ("value", "unit", "better", "wall_s"):
+        _require(key in bench, f"{name}: missing field {key!r}")
+    _require(isinstance(bench["value"], (int, float))
+             and not isinstance(bench["value"], bool),
+             f"{name}: value must be a number")
+    _require(bench["value"] >= 0, f"{name}: value must be non-negative")
+    _require(isinstance(bench["unit"], str) and bench["unit"],
+             f"{name}: unit must be a non-empty string")
+    _require(bench["better"] in BETTER,
+             f"{name}: better must be one of {BETTER}")
+    _require(isinstance(bench["wall_s"], (int, float))
+             and bench["wall_s"] >= 0,
+             f"{name}: wall_s must be a non-negative number")
+    if "detail" in bench:
+        _require(isinstance(bench["detail"], dict),
+                 f"{name}: detail must be an object")
+
+
+def validate_bench(doc: _t.Any) -> None:
+    """Validate a full benchmark document; raises :class:`BenchSchemaError`.
+
+    Checks structure only — it does not interpret values, so baseline
+    documents from older commits validate as long as the layout matches.
+    """
+    _require(isinstance(doc, dict), "document must be a JSON object")
+    _require(doc.get("schema") == SCHEMA,
+             f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    _require(doc.get("mode") in ("quick", "full"),
+             "mode must be 'quick' or 'full'")
+    _require(isinstance(doc.get("created"), str) and doc["created"],
+             "created must be a non-empty timestamp string")
+    _require(isinstance(doc.get("host"), dict), "host must be an object")
+    _require(isinstance(doc.get("zero_copy"), bool),
+             "zero_copy must be a boolean")
+    benches = doc.get("benchmarks")
+    _require(isinstance(benches, dict) and benches,
+             "benchmarks must be a non-empty object")
+    for name, bench in benches.items():
+        validate_benchmark(name, bench)
+    if "baseline" in doc:
+        base = doc["baseline"]
+        _require(isinstance(base, dict), "baseline must be an object")
+        _require(isinstance(base.get("benchmarks"), dict),
+                 "baseline.benchmarks must be an object")
+        for name, value in base["benchmarks"].items():
+            _require(isinstance(value, (int, float))
+                     and not isinstance(value, bool),
+                     f"baseline.benchmarks[{name!r}] must be a number")
+    if "speedups" in doc:
+        _require(isinstance(doc["speedups"], dict),
+                 "speedups must be an object")
+        for name, value in doc["speedups"].items():
+            _require(isinstance(value, (int, float))
+                     and not isinstance(value, bool) and value > 0,
+                     f"speedups[{name!r}] must be a positive number")
+
+
+def speedup(better: str, new_value: float, old_value: float) -> float:
+    """Improvement ratio oriented so that > 1.0 always means faster."""
+    if new_value <= 0 or old_value <= 0:
+        raise BenchSchemaError("speedup needs positive values")
+    if better == "higher":
+        return new_value / old_value
+    return old_value / new_value

@@ -29,33 +29,109 @@ class Engine:
         print(eng.now, proc.value)
     """
 
+    #: Compaction threshold: rebuild the heap once more than half of at
+    #: least this many entries are cancelled (lazy deletion hygiene).
+    COMPACT_MIN = 64
+    #: Upper bound on recycled hot-path deadline objects kept around.
+    POOL_MAX = 128
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._n_dead = 0
+        #: Recycled race() deadlines awaiting slot reuse.
+        self._deadline_pool: list[Deadline] = []
+        #: Recycled plain timers (see :meth:`pooled_timer`).
+        self._timeout_pool: list[Timeout] = []
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
+        event._scheduled = True
         heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
 
+    def _note_dead(self) -> None:
+        """A scheduled event was cancelled: count it, compact if rotten.
+
+        Cancelled entries stay in the heap (lazy deletion — popping
+        mid-heap is O(n) anyway); once more than half the heap is dead
+        it is rebuilt without them, so RPC ``race()`` deadlines cannot
+        rot the queue for the rest of a long run.
+        """
+        self._n_dead += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN and self._n_dead * 2 > len(heap):
+            live = []
+            for entry in heap:
+                if entry[2]._cancelled:
+                    self._retire(entry[2])
+                else:
+                    live.append(entry)
+            # In place, so the run loops' local heap binding stays valid.
+            heap[:] = live
+            heapq.heapify(heap)
+            self._n_dead = 0
+
+    def _retire(self, event: Event) -> None:
+        """A dead heap entry is gone; recycle poolable timer slots.
+
+        Exact-type checks keep subclasses with extra state out of the
+        shared pools.
+        """
+        event._scheduled = False
+        if not getattr(event, "_poolable", False):
+            return
+        cls = type(event)
+        if cls is Deadline:
+            if len(self._deadline_pool) < self.POOL_MAX:
+                self._deadline_pool.append(event)
+        elif cls is Timeout:
+            if len(self._timeout_pool) < self.POOL_MAX:
+                self._timeout_pool.append(event)
+
+    def _pop_next(self) -> tuple[float, int, Event] | None:
+        """Pop the next *live* heap entry (None if none remain).
+
+        The single scan shared by :meth:`peek`, :meth:`step`, and the
+        :meth:`run` loops — the former peek()+step() pairing walked past
+        the same cancelled prefix twice per iteration.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[2]
+            if event._cancelled:
+                self._n_dead -= 1
+                self._retire(event)
+                continue
+            event._scheduled = False
+            return entry
+        return None
+
     def peek(self) -> float:
-        """Timestamp of the next event, or ``inf`` if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else float("inf")
+        """Timestamp of the next live event, or ``inf`` if none remain."""
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            _, _, event = heapq.heappop(heap)
+            self._n_dead -= 1
+            self._retire(event)
+        return heap[0][0] if heap else float("inf")
+
+    @property
+    def queued(self) -> int:
+        """Live (non-cancelled) events in the queue."""
+        return len(self._heap) - self._n_dead
 
     def step(self) -> None:
         """Process the single next event."""
-        while True:
-            if not self._heap:
-                raise SimulationError("step() on an empty event queue")
-            when, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            break
+        entry = self._pop_next()
+        if entry is None:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = entry
         if when < self.now:
             raise SimulationError("event queue went back in time")  # pragma: no cover
         self.now = when
@@ -72,21 +148,42 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        # The loops below inline _pop_next() with local bindings: one
+        # dict lookup per event instead of a method call plus several
+        # attribute loads, on the hottest loop in the whole simulator.
+        # Compaction rewrites self._heap *in place*, so the local heap
+        # binding stays valid across callbacks.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
             if until is None:
-                while self._heap:
-                    if self.peek() == float("inf"):
-                        break
-                    self.step()
+                while heap:
+                    entry = heappop(heap)
+                    event = entry[2]
+                    if event._cancelled:
+                        self._n_dead -= 1
+                        self._retire(event)
+                        continue
+                    event._scheduled = False
+                    self.now = entry[0]
+                    event._process()
                 return None
             if isinstance(until, Event):
                 stop = until
-                while not stop.processed:
-                    if self.peek() == float("inf"):
+                while not stop._processed:
+                    if not heap:
                         raise SimulationError(
                             "deadlock: event queue empty before 'until' event fired"
                         )
-                    self.step()
+                    entry = heappop(heap)
+                    event = entry[2]
+                    if event._cancelled:
+                        self._n_dead -= 1
+                        self._retire(event)
+                        continue
+                    event._scheduled = False
+                    self.now = entry[0]
+                    event._process()
                 if not stop.ok:
                     raise stop.value
                 return stop.value
@@ -95,8 +192,20 @@ class Engine:
                 raise SimulationError(
                     f"cannot run until {horizon}, clock already at {self.now}"
                 )
-            while self.peek() <= horizon:
-                self.step()
+            while heap:
+                entry = heappop(heap)
+                event = entry[2]
+                if event._cancelled:
+                    self._n_dead -= 1
+                    self._retire(event)
+                    continue
+                if entry[0] > horizon:
+                    # Too far: put the live entry back (cheap, once).
+                    heapq.heappush(heap, entry)
+                    break
+                event._scheduled = False
+                self.now = entry[0]
+                event._process()
             self.now = horizon
             return None
         finally:
@@ -110,6 +219,25 @@ class Engine:
     def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def pooled_timer(self, delay: float) -> Timeout:
+        """A plain valueless :class:`Timeout` recycled through the slot pool.
+
+        For internal timers that are frequently cancelled and replaced
+        (e.g. the fluid bandwidth model's provisional completion timer):
+        once a cancelled instance is popped from the heap it is re-armed
+        for the next caller instead of allocating afresh.  Callers must
+        not keep references past cancellation (same contract as
+        :meth:`race` deadlines).
+        """
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._rearm(delay)
+            return t
+        t = Timeout(self, delay)
+        t._poolable = True
+        return t
 
     def process(self, gen: ProcessGenerator, name: str | None = None) -> Process:
         """Start a new process from ``gen``."""
@@ -142,9 +270,20 @@ class Engine:
                     dl.cancel()
             else:
                 ...  # the deadline fired first
+
+        Deadlines created here are slot-reused: once cancelled and
+        retired from the heap, the object is re-armed for a later race
+        instead of allocating a fresh one (the RPC hot path makes one
+        per request).  Do not keep references to ``dl`` beyond the race.
         """
-        dl = Deadline(self, seconds)
+        pool = self._deadline_pool
+        if pool:
+            dl = pool.pop()
+            dl._rearm(seconds)
+        else:
+            dl = Deadline(self, seconds)
+            dl._poolable = True
         return self.any_of([event, dl]), dl
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine t={self.now:.9f} queued={len(self._heap)}>"
+        return f"<Engine t={self.now:.9f} queued={self.queued}>"

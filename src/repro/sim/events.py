@@ -14,6 +14,7 @@ sharing model to rescind provisional completion timers).
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
 from ..errors import SimulationError
@@ -33,15 +34,21 @@ class Event:
     invoked immediately so late waiters do not hang.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_processed", "_cancelled")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_processed",
+                 "_cancelled", "_scheduled")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
-        self.callbacks: list[_t.Callable[["Event"], None]] = []
+        # Lazily allocated: many events (timers especially) are created,
+        # fired, and collected without anyone ever registering a callback.
+        self.callbacks: list[_t.Callable[["Event"], None]] | None = None
         self._value: _t.Any = PENDING
         self._ok: bool | None = None
         self._processed = False
         self._cancelled = False
+        #: True while an entry for this event sits in the engine's heap
+        #: (set by the engine; lets cancel() keep the live-event count).
+        self._scheduled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -76,7 +83,20 @@ class Event:
     # -- transitions ----------------------------------------------------
     def succeed(self, value: _t.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        self._trigger(True, value)
+        # _trigger() inlined: succeed() fires on every message, flow, and
+        # RPC completion, so one saved call per event is measurable.
+        if self._cancelled:
+            raise SimulationError("cannot trigger a cancelled event")
+        if self._value is not PENDING:
+            raise SimulationError(
+                f"event already triggered (value={self._value!r})"
+            )
+        self._ok = True
+        self._value = value
+        engine = self.engine
+        self._scheduled = True
+        heapq.heappush(engine._heap,
+                       (engine.now, next(engine._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -94,15 +114,20 @@ class Event:
 
         A cancelled event's callbacks never run.  Used for provisional
         timers.  Cancelling an already-processed event is an error.
+        The heap entry is *lazily* deleted: the engine counts it dead and
+        compacts the heap when dead entries dominate (see
+        :meth:`Engine._note_dead`).
         """
         if self._processed:
             raise SimulationError("cannot cancel a processed event")
         self._cancelled = True
+        if self._scheduled:
+            self.engine._note_dead()
 
     def _trigger(self, ok: bool, value: _t.Any) -> None:
         if self._cancelled:
             raise SimulationError("cannot trigger a cancelled event")
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(
                 f"event already triggered (value={self._value!r})"
             )
@@ -115,9 +140,14 @@ class Event:
         if self._cancelled:
             return
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            # _processed is already set, so a callback registered *during*
+            # this loop runs immediately instead of appending — iterating
+            # then clearing in place is safe and allocation-free.
+            for cb in callbacks:
+                cb(self)
+            callbacks.clear()
 
     def add_callback(self, callback: _t.Callable[["Event"], None]) -> None:
         """Register ``callback`` to run when the event is processed.
@@ -126,6 +156,8 @@ class Event:
         """
         if self._processed:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
@@ -145,22 +177,50 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically ``delay`` seconds in the future."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_poolable")
 
     def __init__(self, engine: "Engine", delay: float, value: _t.Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine)
-        self.delay = float(delay)
-        self._ok = True
+        # Event.__init__ unrolled — timers are the most-allocated event
+        # type (one per simulated latency, plus every provisional timer).
+        self.engine = engine
+        self.callbacks = None
         self._value = value
-        engine._enqueue(self, delay=self.delay)
+        self._ok = True
+        self._processed = False
+        self._cancelled = False
+        self.delay = float(delay)
+        #: Recyclable through the engine's slot pool once cancelled and
+        #: popped.  Only set on engine-created hot-path timers whose
+        #: references provably do not outlive the race that made them.
+        self._poolable = False
+        self._scheduled = True
+        heapq.heappush(engine._heap,
+                       (engine.now + self.delay, next(engine._seq), self))
 
     def succeed(self, value: _t.Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout triggers automatically")
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout triggers automatically")
+
+    def _rearm(self, delay: float) -> None:
+        """Reset a recycled (cancelled, popped) timer and re-enqueue it.
+
+        Slot reuse for the request hot path: every RPC races its reply
+        against a deadline, and the winner's cancelled deadline would
+        otherwise be garbage plus a fresh allocation per request.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        self._cancelled = False
+        self._processed = False
+        self._ok = True
+        self._value = None
+        self.callbacks = None
+        self.delay = float(delay)
+        self.engine._enqueue(self, delay=self.delay)
 
 
 class Deadline(Timeout):
@@ -198,13 +258,16 @@ class Condition(Event):
             ev.add_callback(self._on_child)
 
     def _collect(self) -> dict[Event, _t.Any]:
-        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+        return {ev: ev._value for ev in self.events
+                if ev._value is not PENDING and ev._ok}
 
     def _on_child(self, child: Event) -> None:
-        if self.triggered:
+        # Slot access over the property wrappers: conditions sit on every
+        # fabric flow and RPC race, so this callback is hot.
+        if self._value is not PENDING:
             return
-        if not child.ok:
-            self.fail(child.value)
+        if not child._ok:
+            self.fail(child._value)
             return
         self._n_done += 1
         if self._n_done >= self._n_needed:

@@ -40,7 +40,8 @@ class Process(Event):
         # Kick off via an immediately-succeeding event so execution order is
         # controlled by the engine, not by construction order.
         start = Event(engine)
-        self._wait_on(start)
+        self._target = start
+        start.callbacks = [self._resume]
         start.succeed(None)
 
     @property
@@ -75,12 +76,15 @@ class Process(Event):
         if event is not self._target:
             return  # stale wake-up (process was interrupted meanwhile)
         self._target = None
+        send = self._gen.send
         while True:
             try:
-                if event.ok:
-                    target = self._gen.send(event.value)
+                # Hot path: read the event slots directly (the property
+                # wrappers re-validate "triggered", which is a given here).
+                if event._ok:
+                    target = send(event._value)
                 else:
-                    target = self._gen.throw(event.value)
+                    target = self._gen.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -103,11 +107,15 @@ class Process(Event):
                 raise SimulationError(
                     f"process {self.name!r} yielded an event from another engine"
                 )
-            if target.processed:
+            if target._processed:
                 # Already done: continue synchronously.
                 event = target
                 continue
-            self._wait_on(target)
+            self._target = target
+            if target.callbacks is None:
+                target.callbacks = [self._resume]
+            else:
+                target.callbacks.append(self._resume)
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

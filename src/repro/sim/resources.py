@@ -174,13 +174,22 @@ class BandwidthShare:
         now = self.engine.now
         dt = now - self._last_t
         self._last_t = now
-        if dt <= 0 or not self._flows:
+        flows = self._flows
+        if dt <= 0 or not flows:
             return
-        total_w = sum(f.weight for f in self._flows)
-        for f in self._flows:
+        if len(flows) == 1:
+            # Fast path; bit-identical to the general formula because
+            # w / w == 1.0 exactly and capacity * 1.0 == capacity.
+            f = flows[0]
+            f.remaining -= self.capacity * dt
+            if f.remaining < 0:
+                f.remaining = 0.0
+            return
+        total_w = sum(f.weight for f in flows)
+        for f in flows:
             f.remaining -= self.capacity * (f.weight / total_w) * dt
         # Numerical guard: clamp tiny negatives from float error.
-        for f in self._flows:
+        for f in flows:
             if f.remaining < 0:
                 f.remaining = 0.0
 
@@ -192,9 +201,24 @@ class BandwidthShare:
     _MIN_TIMER_S = 1e-12
 
     def _reschedule(self) -> None:
-        if self._timer is not None and not self._timer.processed:
+        if self._timer is not None and not self._timer._processed:
             self._timer.cancel()
         self._timer = None
+        flows = self._flows
+        if len(flows) == 1:
+            # Fast path for the uncontended link (the overwhelmingly
+            # common case for pipeline block streams); arithmetic is
+            # bit-identical to the fair-share formula with one flow.
+            f = flows[0]
+            if f.remaining > self._EPSILON_BYTES:
+                next_dt = f.remaining / self.capacity
+                if next_dt > self._MIN_TIMER_S:
+                    self._timer = self.engine.pooled_timer(next_dt)
+                    self._timer.add_callback(self._on_timer)
+                    return
+            flows.clear()
+            f.done.succeed(None)
+            return
         while True:
             # Complete any flows that are done (or numerically done).
             finished = [f for f in self._flows if f.remaining <= self._EPSILON_BYTES]
@@ -216,7 +240,10 @@ class BandwidthShare:
                     if f.remaining / (self.capacity * (f.weight / total_w)) <= self._MIN_TIMER_S:
                         f.remaining = 0.0
                 continue
-            self._timer = Timeout(self.engine, next_dt)
+            # Pooled: every new flow cancels and replaces this timer, so
+            # the share would otherwise allocate one Timeout per block of
+            # every pipeline stream.
+            self._timer = self.engine.pooled_timer(next_dt)
             self._timer.add_callback(self._on_timer)
             return
 

@@ -217,3 +217,55 @@ class TestAllocatorProperties:
         for p in ptrs:
             mem.free(p)
         np.testing.assert_array_equal(mem.read(keeper), marker)
+
+
+class TestZeroCopyLoans:
+    """``copy=False`` reads: read-only loans with allocation-level COW."""
+
+    def test_read_loan_is_read_only_and_zero_copy(self):
+        from repro.buffers import copy_stats
+
+        mem = DeviceMemory(1000)
+        a = mem.malloc(100)
+        mem.write(a, 0, np.arange(100, dtype=np.uint8))
+        copy_stats.reset()
+        loan = mem.read(a, copy=False)
+        assert copy_stats.payload_copies == 0
+        assert not loan.flags.writeable
+        with pytest.raises(ValueError):
+            loan[0] = 1
+        np.testing.assert_array_equal(loan, np.arange(100, dtype=np.uint8))
+
+    def test_read_array_loan_keeps_dtype_shape(self):
+        mem = DeviceMemory(10_000)
+        a = mem.malloc(800)
+        arr = np.arange(100, dtype=np.float64).reshape(10, 10)
+        mem.write_array(a, arr)
+        loan = mem.read_array(a, copy=False)
+        assert loan.dtype == np.float64
+        assert loan.shape == (10, 10)
+        assert not loan.flags.writeable
+        np.testing.assert_array_equal(loan, arr)
+
+    def test_loan_is_cow_isolated_from_later_writes(self):
+        from repro.buffers import copy_stats
+
+        mem = DeviceMemory(1000)
+        a = mem.malloc(64)
+        mem.write(a, 0, np.full(64, 7, dtype=np.uint8))
+        loan = mem.read(a, copy=False)
+        copy_stats.reset()
+        mem.write(a, 0, np.full(64, 9, dtype=np.uint8))
+        assert copy_stats.cow_copies >= 1
+        assert (loan == 7).all(), "write leaked into an outstanding loan"
+        np.testing.assert_array_equal(mem.read(a),
+                                      np.full(64, 9, dtype=np.uint8))
+
+    def test_copy_true_read_is_private_and_mutable(self):
+        mem = DeviceMemory(1000)
+        a = mem.malloc(32)
+        mem.write(a, 0, np.arange(32, dtype=np.uint8))
+        out = mem.read(a)
+        out[:] = 0
+        np.testing.assert_array_equal(mem.read(a),
+                                      np.arange(32, dtype=np.uint8))

@@ -303,3 +303,201 @@ def assert_equivalent(expected: list[np.ndarray],
                 f"{name}[{i}]: numerics diverged "
                 f"(max |delta| = {np.abs(got - want).max()})")
         out.assert_monotonic()
+
+
+# ---------------------------------------------------------------------------
+# Memcpy-heavy programs: the zero-copy data plane's A/B identity oracle.
+#
+# These programs exercise only the copy path — no kernels — but with every
+# payload shape the plane must handle: real arrays (uint8 and float64),
+# raw ``bytes``, timing-only Phantoms, offset windows, and pinned/pageable
+# variation.  The same seeded program is run twice, zero-copy on and off,
+# and both the downloaded bytes *and* the traced span timeline must be
+# bit-identical: the optimization may only change host wall time.
+# ---------------------------------------------------------------------------
+
+#: Buffer byte sizes for memcpy programs.  Deliberately spans sub-block
+#: (one chunk) and multi-block pipeline transfers, plus one size that is
+#: not a multiple of the pipeline block so the tail block is short.
+MEMCPY_SIZES = (512, 4096, 24_576, 65_536, 200_000)
+
+
+def generate_memcpy_program(seed: int, n_ops: int = 24) -> list[Instr]:
+    """A random but well-formed copy-only program (pure in ``seed``).
+
+    ===============  ====================================================
+    op               args
+    ===============  ====================================================
+    ``alloc_raw``    (buf, nbytes, real) — phantom buffer when not real
+    ``h2d_raw``      (buf, payload, offset, pinned)
+    ``d2h_raw``      (buf, offset, nbytes, pinned)
+    ``free_raw``     (buf,)
+    ===============  ====================================================
+    """
+    from repro.mpisim import Phantom
+
+    rng = np.random.default_rng(seed)
+    prog: list[Instr] = []
+    live: dict[int, tuple[int, bool]] = {}  # buf -> (nbytes, real)
+    next_buf = 0
+
+    def payload_for(nbytes: int, real: bool) -> _t.Any:
+        if not real:
+            return Phantom(nbytes)
+        raw = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+        kind = int(rng.integers(3))
+        if kind == 0:
+            return raw
+        if kind == 1 and nbytes % 8 == 0:
+            return raw.view(np.float64)
+        return raw.tobytes()
+
+    def pinned() -> bool | None:
+        return [None, True, False][int(rng.integers(3))]
+
+    def alloc() -> int:
+        nonlocal next_buf
+        buf = next_buf
+        next_buf += 1
+        nbytes = int(rng.choice(MEMCPY_SIZES))
+        real = bool(rng.random() < 0.7)
+        live[buf] = (nbytes, real)
+        prog.append(Instr("alloc_raw", (buf, nbytes, real)))
+        # Fully populate right away so offset reads are always defined.
+        prog.append(Instr("h2d_raw",
+                          (buf, payload_for(nbytes, real), 0, pinned())))
+        return buf
+
+    def window(nbytes: int) -> tuple[int, int]:
+        """A random non-empty (offset, length) window within ``nbytes``."""
+        if nbytes <= 1 or rng.random() < 0.5:
+            return 0, nbytes
+        offset = int(rng.integers(0, nbytes - 1))
+        length = int(rng.integers(1, nbytes - offset + 1))
+        return offset, length
+
+    alloc()
+    for _ in range(n_ops):
+        choice = rng.random()
+        if choice < 0.2 or not live:
+            alloc()
+        elif choice < 0.55:
+            buf = int(rng.choice(sorted(live)))
+            nbytes, real = live[buf]
+            offset, length = window(nbytes)
+            prog.append(Instr("h2d_raw",
+                              (buf, payload_for(length, real), offset,
+                               pinned())))
+        elif choice < 0.85:
+            buf = int(rng.choice(sorted(live)))
+            nbytes, _real = live[buf]
+            offset, length = window(nbytes)
+            prog.append(Instr("d2h_raw", (buf, offset, length, pinned())))
+        elif len(live) > 1:
+            buf = int(rng.choice(sorted(live)))
+            nbytes, _real = live[buf]
+            prog.append(Instr("d2h_raw", (buf, 0, nbytes, pinned())))
+            prog.append(Instr("free_raw", (buf,)))
+            del live[buf]
+        else:
+            alloc()
+    for buf in sorted(live):
+        nbytes, _real = live[buf]
+        prog.append(Instr("d2h_raw", (buf, 0, nbytes, pinned())))
+        prog.append(Instr("free_raw", (buf,)))
+    return prog
+
+
+def _payload_bytes(payload: _t.Any) -> bytes:
+    if isinstance(payload, np.ndarray):
+        return payload.tobytes()
+    return bytes(payload)
+
+
+def expected_memcpy_results(program: list[Instr]) -> list:
+    """Byte-level host oracle: each d2h yields ``bytes`` or a phantom tag."""
+    from repro.mpisim import Phantom
+
+    bufs: dict[int, bytearray | None] = {}
+    results: list = []
+    for ins in program:
+        if ins.op == "alloc_raw":
+            buf, nbytes, real = ins.args
+            bufs[buf] = bytearray(nbytes) if real else None
+        elif ins.op == "h2d_raw":
+            buf, payload, offset, _pinned = ins.args
+            if not isinstance(payload, Phantom):
+                data = _payload_bytes(payload)
+                bufs[buf][offset:offset + len(data)] = data
+        elif ins.op == "d2h_raw":
+            buf, offset, nbytes, _pinned = ins.args
+            backing = bufs[buf]
+            if backing is None:
+                results.append(("phantom", nbytes))
+            else:
+                results.append(bytes(backing[offset:offset + nbytes]))
+        elif ins.op == "free_raw":
+            del bufs[ins.args[0]]
+    return results
+
+
+def run_memcpy(engine, ac, program: list[Instr]):
+    """Drive a memcpy program through the sync API (generator).
+
+    Results are normalized to ``bytes`` (or ``("phantom", n)`` tags) so
+    outcomes compare bit-for-bit regardless of the dtype the download
+    path reconstructed.
+    """
+    from repro.mpisim import Phantom
+
+    addrs: dict[int, int] = {}
+    results: list = []
+    trace: list[tuple[float, str]] = []
+    for ins in program:
+        if ins.op == "alloc_raw":
+            buf, nbytes, _real = ins.args
+            addrs[buf] = yield from ac.mem_alloc(nbytes)
+        elif ins.op == "h2d_raw":
+            buf, payload, offset, pinned = ins.args
+            yield from ac.memcpy_h2d(addrs[buf], payload, offset=offset,
+                                     pinned=pinned)
+        elif ins.op == "d2h_raw":
+            buf, offset, nbytes, pinned = ins.args
+            out = yield from ac.memcpy_d2h(addrs[buf], nbytes, offset=offset,
+                                           pinned=pinned)
+            if isinstance(out, Phantom):
+                results.append(("phantom", out.nbytes))
+            else:
+                results.append(np.asarray(out).tobytes())
+        elif ins.op == "free_raw":
+            yield from ac.mem_free(addrs.pop(ins.args[0]))
+        trace.append((engine.now, ins.op))
+    return RunOutcome(results, trace)
+
+
+def span_timeline(session) -> list[tuple]:
+    """The traced span timeline as comparable (name, phase, ts, dur) rows."""
+    events = session.to_chrome_trace()["traceEvents"]
+    return [(ev.get("name"), ev.get("ph"), ev.get("ts"), ev.get("dur"))
+            for ev in events]
+
+
+def run_memcpy_traced(seed: int, n_ops: int = 24, zero_copy: bool = True):
+    """One traced memcpy run under the given zero-copy mode.
+
+    Returns ``(outcome, timeline)``.  The rig is built inside the trace
+    session so every engine's spans are captured.
+    """
+    from repro.buffers import zero_copy as zero_copy_ctx
+    from repro.core.protocol import reset_request_ids
+    from repro.obs import trace_session
+
+    program = generate_memcpy_program(seed, n_ops)
+    # Pickled control frames grow with the request id's magnitude, so
+    # absolute times only line up when both runs draw the same ids.
+    reset_request_ids()
+    with zero_copy_ctx(zero_copy):
+        with trace_session() as session:
+            cluster, sess, ac = make_remote_rig()
+            outcome = sess.call(run_memcpy(cluster.engine, ac, program))
+    return outcome, span_timeline(session)

@@ -1,0 +1,150 @@
+"""Engine hot-path machinery: lazy deletion, compaction, slot pools.
+
+The perf work (PR 5) replaced eager heap removal with lazy deletion plus
+periodic in-place compaction, and recycles the two high-churn timer
+types (``race()`` deadlines, ``pooled_timer`` timeouts) through slot
+pools.  These tests pin the observable contracts: live-event accounting
+stays exact, compaction never loses a live event or breaks the running
+loop's heap binding, pooled objects are only reused after retirement,
+and the deadlock diagnostic still fires.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+from repro.sim.events import Deadline, Timeout
+
+
+def test_cancelled_events_are_lazily_deleted():
+    eng = Engine()
+    timers = [eng.timeout(0.1 * (i + 1)) for i in range(10)]
+    for t in timers[:4]:
+        t.cancel()
+    # Dead entries stay in the heap (lazy deletion) but queued is exact.
+    assert len(eng._heap) == 10
+    assert eng.queued == 6
+    eng.run()
+    assert eng.now == pytest.approx(1.0)
+    assert eng.queued == 0
+
+
+def test_compaction_rebuilds_in_place_and_keeps_live_events():
+    eng = Engine()
+    n = max(Engine.COMPACT_MIN, 100)
+    timers = [eng.timeout(0.001 * (i + 1)) for i in range(n)]
+    heap_id = id(eng._heap)
+    dead = (n * 6) // 10  # kill >50% to cross the threshold mid-loop
+    for t in timers[:dead]:
+        t.cancel()
+    assert len(eng._heap) < n, "compaction never ran"
+    assert id(eng._heap) == heap_id, "compaction must rewrite in place"
+    assert eng.queued == n - dead
+    fired = []
+    for t in timers[dead:]:
+        t.add_callback(lambda ev: fired.append(eng.now))
+    eng.run()
+    assert len(fired) == n - dead
+    assert fired == sorted(fired)
+
+
+def test_peek_and_step_skip_dead_prefix():
+    eng = Engine()
+    t1 = eng.timeout(0.1)
+    t2 = eng.timeout(0.2)
+    t1.cancel()
+    assert eng.peek() == pytest.approx(0.2)
+    eng.step()
+    assert t2.processed
+    assert eng.peek() == float("inf")
+
+
+def test_race_deadline_slot_is_reused_after_retirement():
+    eng = Engine()
+    reply = eng.timeout(0.1)
+    cond, dl = eng.race(reply, 5.0)
+    assert type(dl) is Deadline
+    eng.run(until=cond)
+    assert reply.triggered
+    dl.cancel()
+    eng.run()  # drains the heap; the dead deadline entry is retired
+    cond2, dl2 = eng.race(eng.timeout(0.1), 3.0)
+    assert dl2 is dl, "retired deadline should be slot-reused"
+    eng.run(until=cond2)
+    dl2.cancel()
+
+
+def test_pooled_timer_is_reused_and_fires_at_new_delay():
+    eng = Engine()
+    t = eng.pooled_timer(1.0)
+    t.cancel()
+    eng.run()  # retire the cancelled entry
+    t2 = eng.pooled_timer(2.0)
+    assert t2 is t, "retired pooled timer should be slot-reused"
+    eng.run()
+    assert t2.processed
+    assert eng.now == pytest.approx(2.0)
+
+
+def test_plain_timeouts_are_never_pooled():
+    eng = Engine()
+    t = eng.timeout(1.0)
+    t.cancel()
+    eng.run()
+    t2 = eng.pooled_timer(1.0)
+    assert t2 is not t
+    assert type(t2) is Timeout
+
+
+def test_pool_respects_size_bound():
+    eng = Engine()
+    timers = [eng.pooled_timer(1.0) for _ in range(Engine.POOL_MAX + 10)]
+    for t in timers:
+        t.cancel()
+    eng.run()
+    assert len(eng._timeout_pool) <= Engine.POOL_MAX
+
+
+def test_deadlock_detection_still_raises():
+    eng = Engine()
+    never = eng.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run(until=never)
+
+
+def test_run_until_horizon_pushes_back_the_far_event():
+    eng = Engine()
+    t = eng.timeout(5.0)
+    eng.run(until=1.0)
+    assert eng.now == pytest.approx(1.0)
+    assert eng.queued == 1, "the not-yet-due event must survive the horizon"
+    eng.run()
+    assert t.processed
+    assert eng.now == pytest.approx(5.0)
+
+
+def test_cancel_then_compact_during_run_keeps_loop_alive():
+    """Compaction triggered from inside a running process is safe.
+
+    The run loop binds the heap list locally; in-place compaction while
+    events are being processed must not detach that binding or drop any
+    live timer.
+    """
+    eng = Engine()
+    seen = []
+
+    def churn():
+        for _ in range(6):
+            victims = [eng.pooled_timer(10.0)
+                       for _ in range(Engine.COMPACT_MIN)]
+            tick = eng.timeout(0.001)
+            for v in victims:
+                v.cancel()
+            yield tick
+            seen.append(eng.now)
+
+    eng.process(churn())
+    eng.run()
+    assert len(seen) == 6
+    assert seen == sorted(seen)
+    assert eng.queued == 0

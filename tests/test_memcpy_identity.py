@@ -1,0 +1,162 @@
+"""Zero-copy data plane: A/B identity, copy accounting, COW isolation.
+
+The tentpole property: running the exact same seeded memcpy-heavy
+program with the zero-copy plane on and off must produce bit-identical
+downloaded bytes, an identical virtual-time trace, *and* an identical
+traced span timeline — the optimization buys host wall time and nothing
+else.  On top of that, the copy counters prove the happy path really is
+zero-copy (no payload copy on a contiguous H2D except the final device
+write), and allocation-level copy-on-write keeps loaned download views
+stable snapshots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.buffers import copy_stats, zero_copy
+from repro.core.protocol import reset_request_ids
+from repro.mpisim import Phantom
+
+from .harness import (
+    expected_memcpy_results,
+    generate_memcpy_program,
+    make_remote_rig,
+    run_memcpy,
+    run_memcpy_traced,
+)
+
+MEMCPY_SEEDS = [0, 1, 2, 3, 4, 7, 42, 1234]
+
+
+def _assert_outcomes_identical(on, off):
+    assert len(on.results) == len(off.results)
+    for i, (a, b) in enumerate(zip(on.results, off.results)):
+        assert a == b, f"result[{i}] diverged between zero-copy on/off"
+    assert on.trace == off.trace, "virtual-time trace diverged"
+
+
+@pytest.mark.parametrize("seed", MEMCPY_SEEDS)
+def test_zero_copy_ab_identity(seed):
+    """Same program, zero-copy on vs off: bytes, trace, spans identical."""
+    on, spans_on = run_memcpy_traced(seed, zero_copy=True)
+    off, spans_off = run_memcpy_traced(seed, zero_copy=False)
+    _assert_outcomes_identical(on, off)
+    assert spans_on == spans_off, (
+        "traced span timeline diverged between zero-copy on/off")
+    on.assert_monotonic()
+
+
+@pytest.mark.parametrize("seed", MEMCPY_SEEDS)
+def test_memcpy_results_match_host_oracle(seed):
+    """Downloaded bytes match the plain-host byte oracle, both modes."""
+    program = generate_memcpy_program(seed)
+    expected = expected_memcpy_results(program)
+    assert any(not isinstance(r, tuple) for r in expected), (
+        "seed produced no real downloads to compare")
+    for mode in (True, False):
+        reset_request_ids()
+        with zero_copy(mode):
+            cluster, sess, ac = make_remote_rig()
+            out = sess.call(run_memcpy(cluster.engine, ac, program))
+        assert out.results == expected, f"zero_copy={mode}: oracle mismatch"
+
+
+def test_memcpy_program_is_pure_in_seed():
+    a = generate_memcpy_program(17)
+    b = generate_memcpy_program(17)
+    assert len(a) == len(b)
+    for ia, ib in zip(a, b):
+        assert ia.op == ib.op
+        for xa, xb in zip(ia.args, ib.args):
+            if isinstance(xa, np.ndarray):
+                # Byte-level: a random-byte float64 payload may hold NaNs.
+                assert xa.tobytes() == xb.tobytes()
+            elif isinstance(xa, Phantom):
+                assert isinstance(xb, Phantom) and xa.nbytes == xb.nbytes
+            else:
+                assert xa == xb
+
+
+def test_contiguous_h2d_pays_only_the_device_write():
+    """Happy path: one contiguous array upload → zero payload copies.
+
+    The single allowed copy is the final write into device backing
+    memory; every intermediate hop (slice, send, receive, staging) must
+    be a view hand-off.
+    """
+    payload = np.arange(256 * 1024, dtype=np.uint8)
+    cluster, sess, ac = make_remote_rig()
+
+    def prog():
+        addr = yield from ac.mem_alloc(payload.nbytes)
+        copy_stats.reset()
+        yield from ac.memcpy_h2d(addr, payload)
+        return addr
+
+    sess.call(prog())
+    assert copy_stats.payload_copies == 0, (
+        f"contiguous H2D paid {copy_stats.payload_copies} avoidable "
+        f"payload copies ({copy_stats.payload_bytes}B)")
+    assert copy_stats.device_writes >= 1
+    assert copy_stats.device_write_bytes == payload.nbytes
+
+
+def test_d2h_download_is_a_loaned_view():
+    """D2H of a full buffer stages and assembles without payload copies."""
+    payload = np.arange(128 * 1024, dtype=np.uint8)
+    cluster, sess, ac = make_remote_rig()
+
+    def prog():
+        addr = yield from ac.mem_alloc(payload.nbytes)
+        yield from ac.memcpy_h2d(addr, payload)
+        copy_stats.reset()
+        out = yield from ac.memcpy_d2h(addr, payload.nbytes)
+        return out
+
+    out = sess.call(prog())
+    assert copy_stats.payload_copies == 0, (
+        f"D2H paid {copy_stats.payload_copies} avoidable payload copies")
+    out = np.asarray(out)
+    assert not out.flags.writeable, (
+        "zero-copy download must hand back a read-only loan")
+    assert (out.view(np.uint8).reshape(-1) == payload).all()
+
+
+def test_downloaded_view_is_cow_isolated_from_later_writes():
+    """A loaned download stays a stable snapshot across device mutation."""
+    first = np.full(64 * 1024, 7, dtype=np.uint8)
+    second = np.full(64 * 1024, 9, dtype=np.uint8)
+    cluster, sess, ac = make_remote_rig()
+
+    def prog():
+        addr = yield from ac.mem_alloc(first.nbytes)
+        yield from ac.memcpy_h2d(addr, first)
+        snapshot = yield from ac.memcpy_d2h(addr, first.nbytes)
+        yield from ac.memcpy_h2d(addr, second)
+        after = yield from ac.memcpy_d2h(addr, second.nbytes)
+        return snapshot, after
+
+    copy_stats.reset()
+    snapshot, after = sess.call(prog())
+    snapshot = np.asarray(snapshot).view(np.uint8).reshape(-1)
+    after = np.asarray(after).view(np.uint8).reshape(-1)
+    assert (snapshot == 7).all(), (
+        "COW failed: later device write leaked into the loaned snapshot")
+    assert (after == 9).all()
+    assert copy_stats.cow_copies >= 1, (
+        "expected an allocation-level COW snapshot when the device "
+        "buffer was overwritten under a live loan")
+
+
+def test_chunkview_writable_is_a_private_copy():
+    """ChunkView.writable() detaches from the shared backing buffer."""
+    from repro.buffers import ChunkView
+
+    backing = np.arange(1024, dtype=np.uint8)
+    view = ChunkView(backing, offset=128, nbytes=256)
+    private = view.writable()
+    private[:] = 0
+    assert backing[128] == 128, "writable() mutated the shared backing"
+    assert (view.array == backing[128:384]).all()
+    with pytest.raises(ValueError):
+        view.array[0] = 1  # the read-only view rejects mutation
