@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --quick
     python -m repro trace fig05 [--quick] [--out trace.json] [--timeline]
                                 [--check-identity]
+    python -m repro tenants [--tenants N] [--accelerators M] [--seed S]
+                            [--quick] [--json out.json] [--check-determinism]
     python -m repro perf [--quick] [--json BENCH.json] [--against OLD.json]
                          [--check BASELINE.json]
 
@@ -26,6 +28,7 @@ tolerance — the CI perf-smoke job runs exactly that.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import typing as _t
@@ -118,6 +121,53 @@ def trace_experiment(name: str, quick: bool = False,
                   "to the untraced run\n")
 
 
+def run_tenants(args: argparse.Namespace,
+                out: _t.TextIO | None = None) -> int:
+    """The ``tenants`` subcommand: open-loop multi-tenant workload."""
+    from ..workloads import tenants as _tenants
+    out = out if out is not None else sys.stdout
+    if args.quick:
+        cfg = _tenants.TenantWorkloadConfig(
+            n_tenants=min(args.tenants, 48), n_accelerators=2, n_gateways=2,
+            slots_per_device=2, requests_per_tenant=2, window_s=2e-3,
+            payload_bytes=args.payload_kib * 1024, seed=args.seed)
+    else:
+        cfg = _tenants.TenantWorkloadConfig(
+            n_tenants=args.tenants, n_accelerators=args.accelerators,
+            n_gateways=args.gateways, slots_per_device=args.slots,
+            requests_per_tenant=args.requests,
+            window_s=args.window_ms * 1e-3,
+            payload_bytes=args.payload_kib * 1024, seed=args.seed)
+    report = _tenants.run(cfg)
+    out.write(_tenants.format_report(report) + "\n")
+    if args.check_determinism:
+        again = _tenants.run(cfg)
+        if again.digest != report.digest:
+            raise SystemExit("tenants: same seed produced a different "
+                             "trace digest — run is not deterministic")
+        out.write("determinism check passed: same seed, same digest\n")
+    if args.json_path:
+        doc = {
+            "config": dataclasses.asdict(cfg),
+            "duration_s": report.duration_s,
+            "submitted": report.submitted,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "aborted": report.aborted,
+            "preemptions": report.preemptions,
+            "recoveries": report.recoveries,
+            "latency_p50_s": report.latency_p50_s,
+            "latency_p99_s": report.latency_p99_s,
+            "fairness": report.fairness,
+            "digest": report.digest,
+            "per_tenant": report.per_tenant,
+        }
+        with open(args.json_path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        out.write(f"report written to {args.json_path}\n")
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -144,6 +194,30 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="print an ASCII span timeline")
     tracep.add_argument("--check-identity", action="store_true",
                         help="re-run untraced and assert identical results")
+    tenp = sub.add_parser(
+        "tenants", help="run the open-loop multi-tenant workload")
+    tenp.add_argument("--tenants", type=int, default=1000,
+                      help="tenant population size (default 1000)")
+    tenp.add_argument("--accelerators", type=int, default=8,
+                      help="physical accelerators, 1..8 (default 8)")
+    tenp.add_argument("--gateways", type=int, default=4,
+                      help="gateway compute nodes (default 4)")
+    tenp.add_argument("--slots", type=int, default=4,
+                      help="virtual-accelerator slots per device (default 4)")
+    tenp.add_argument("--requests", type=int, default=1,
+                      help="requests per tenant (default 1)")
+    tenp.add_argument("--window-ms", type=float, default=10.0,
+                      help="arrival window in virtual ms (default 10)")
+    tenp.add_argument("--payload-kib", type=int, default=64,
+                      help="per-request payload in KiB (default 64)")
+    tenp.add_argument("--seed", type=int, default=0,
+                      help="RNG seed (default 0)")
+    tenp.add_argument("--quick", action="store_true",
+                      help="small population for a fast look (CI smoke)")
+    tenp.add_argument("--json", dest="json_path", default=None,
+                      help="also write the report as JSON")
+    tenp.add_argument("--check-determinism", action="store_true",
+                      help="run twice and assert bit-identical digests")
     perfp = sub.add_parser(
         "perf", help="run the wall-clock benchmark suite")
     perfp.add_argument("--quick", action="store_true",
@@ -162,6 +236,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.cmd == "perf":
         from ..perf.suite import main_run
         return main_run(args.quick, args.json_path, args.against, args.check)
+    if args.cmd == "tenants":
+        return run_tenants(args)
     if args.cmd == "trace":
         trace_experiment(args.experiment, quick=args.quick,
                          out_path=args.out_path, timeline=args.timeline,

@@ -22,7 +22,12 @@ from ..core.api import RemoteAccelerator
 from ..core.blocksize import TransferConfig
 from ..core.daemon import Daemon
 from ..core.protocol import AcceleratorHandle
-from ..core.reliability import FailoverConfig, ResilientAccelerator, RetryPolicy
+from ..core.reliability import (
+    FailoverConfig,
+    ResilientAccelerator,
+    RetryPolicy,
+    tenant_accelerator,
+)
 from ..core.session import SyncSession
 from ..errors import ClusterConfigError
 from ..mpisim import World
@@ -111,6 +116,25 @@ class Cluster:
             self.arm_client(cn_index, retry=retry),
             lambda h: self.remote(cn_index, h, transfer=transfer, retry=retry),
             handle, config=config)
+
+    def tenant(self, cn_index: int, tenant_id: str,
+               config: FailoverConfig | None = None,
+               transfer: TransferConfig | None = None,
+               retry: RetryPolicy | None = None, wait: bool = True,
+               job: str | None = None):
+        """Lease a virtual accelerator for ``tenant_id`` (generator).
+
+        Runs the valloc + attach handshake against the ARM and the
+        hosting daemon and returns a ready
+        :class:`~repro.core.reliability.TenantAccelerator`.  The tenant
+        must have been registered first
+        (:meth:`~repro.core.arm.ArmClient.register_tenant`).
+        """
+        ac = yield from tenant_accelerator(
+            self.arm_client(cn_index, retry=retry),
+            lambda h: self.remote(cn_index, h, transfer=transfer, retry=retry),
+            tenant_id, config=config, wait=wait, job=job)
+        return ac
 
     def accelerator_for_handle(self, handle: AcceleratorHandle) -> AcceleratorNode:
         """The accelerator node behind a handle (for inspection in tests)."""

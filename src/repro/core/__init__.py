@@ -34,6 +34,7 @@ from .protocol import (
     Status,
     TAG_ARM,
     TAG_REQUEST,
+    VirtualAcceleratorHandle,
     data_tag,
     next_request_id,
     reply_tag,
@@ -44,7 +45,16 @@ from .reliability import (
     FailoverPolicy,
     ResilientAccelerator,
     RetryPolicy,
+    TenantAccelerator,
     reliable_rpc,
+    tenant_accelerator,
+)
+from .scheduler import (
+    AdmissionController,
+    Lease,
+    TenantSpec,
+    WeightedFairQueue,
+    jain_fairness,
 )
 from .session import SyncSession
 from .stream import DEFAULT_MAX_BATCH, Stream, StreamFuture
@@ -64,6 +74,14 @@ __all__ = [
     "AcceleratorState",
     "AcceleratorRecord",
     "AcceleratorHandle",
+    "VirtualAcceleratorHandle",
+    "TenantSpec",
+    "WeightedFairQueue",
+    "AdmissionController",
+    "Lease",
+    "jain_fairness",
+    "TenantAccelerator",
+    "tenant_accelerator",
     "FaultInjector",
     "RetryPolicy",
     "DEFAULT_RETRY",

@@ -44,6 +44,7 @@ from .protocol import (
     Request,
     Response,
     TAG_REQUEST,
+    VirtualAcceleratorHandle,
     data_tag,
     next_request_id,
     reply_tag,
@@ -62,6 +63,10 @@ class RemoteAccelerator(AcceleratorLifecycle):
         self.handle = handle
         self.transfer = transfer
         self.retry = retry or DEFAULT_RETRY
+        #: Tenant scoping: a virtual handle stamps its lease id onto every
+        #: request, and the daemon resolves ops against that slice.
+        self._scope = ({"vac": handle.vac_id}
+                       if isinstance(handle, VirtualAcceleratorHandle) else {})
         self._kernels: dict[str, dict] = {}  # name -> staged args
         #: Live device allocations (for context-manager release).
         self._live: dict[int, int] = {}      # addr -> nbytes
@@ -99,6 +104,8 @@ class RemoteAccelerator(AcceleratorLifecycle):
         expiry per the policy's backoff schedule, and
         :class:`RequestTimeout` surfaces once all deadlines passed.
         """
+        if self._scope:
+            params = {**params, **self._scope}
         resp = yield from reliable_rpc(
             self.rank, self.handle.daemon_rank, TAG_REQUEST, op, params,
             self.retry, timeout_s if timeout_s is not None else self.retry.timeout_s,
@@ -165,7 +172,8 @@ class RemoteAccelerator(AcceleratorLifecycle):
                                   "blocks": blocks,
                                   "data_tag": 0, "pinned": cfg.pinned,
                                   "gpudirect": cfg.gpudirect,
-                                  "meta": payload_meta(payload) if offset == 0 else None},
+                                  "meta": payload_meta(payload) if offset == 0 else None,
+                                  **self._scope},
                           trace=span.wire)
             dtag = data_tag(req.req_id)
             req.params["data_tag"] = dtag
@@ -208,7 +216,8 @@ class RemoteAccelerator(AcceleratorLifecycle):
                                   "blocks": blocks,
                                   "data_tag": 0, "pinned": cfg.pinned,
                                   "gpudirect": cfg.gpudirect,
-                                  "block_post_s": cfg.d2h_block_post_s},
+                                  "block_post_s": cfg.d2h_block_post_s,
+                                  **self._scope},
                           trace=span.wire)
             dtag = data_tag(req.req_id)
             req.params["data_tag"] = dtag
@@ -302,6 +311,36 @@ class RemoteAccelerator(AcceleratorLifecycle):
                 timeout_s=timeout_s, span=span)
             return resp.value
 
+    # -- virtual-accelerator lifecycle ------------------------------------
+    def vac_attach(self, share: float = 1.0, mem_quota: int | None = None):
+        """Instantiate this front-end's lease as a slice on the daemon.
+
+        Only meaningful when the front-end was built from a
+        :class:`~repro.core.protocol.VirtualAcceleratorHandle` (an ARM
+        ``valloc`` grant); ``share`` and ``mem_quota`` come from the grant.
+        Must run before any other op — until then the daemon answers
+        ``Status.PREEMPTED`` for this lease.
+        """
+        if not self._scope:
+            raise MiddlewareError("vac_attach needs a virtual handle")
+        with self._obs.start("client.vac_attach", self._actor,
+                             vac=self.handle.vac_id) as span:
+            yield from self._rpc(Op.VAC_ATTACH, {
+                "vac_id": self.handle.vac_id, "share": share,
+                "mem_quota": mem_quota}, span=span)
+
+    def vac_detach(self):
+        """Tear the slice down on the daemon; returns bytes freed there."""
+        if not self._scope:
+            raise MiddlewareError("vac_detach needs a virtual handle")
+        with self._obs.start("client.vac_detach", self._actor,
+                             vac=self.handle.vac_id) as span:
+            resp = yield from self._rpc(Op.VAC_DETACH,
+                                        {"vac_id": self.handle.vac_id},
+                                        span=span)
+            self._live.clear()
+            return resp.value
+
     # -- misc -------------------------------------------------------------
     def ping(self, timeout_s: float | None = None):
         """Round-trip liveness probe; returns the one-way-ish RTT payload."""
@@ -329,7 +368,9 @@ class RemoteAccelerator(AcceleratorLifecycle):
             if op not in BATCHABLE_OPS:
                 raise MiddlewareError(
                     f"op {op.value!r} cannot ride a batch frame")
-            wire.append((op.value, params))
+            # Sub-ops are resolved from their own params by the daemon's
+            # executors, so each needs the lease scope too.
+            wire.append((op.value, {**params, **self._scope}))
         with self._obs.start("client.batch", self._actor,
                              ops=len(wire)) as span:
             resp = yield from self._rpc(Op.BATCH, {"ops": wire},

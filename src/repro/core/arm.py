@@ -11,6 +11,20 @@ strategies of Figure 3 are supported:
   the resource-management API (:class:`ArmClient`); unsatisfiable requests
   may wait FIFO until a release frees capacity.
 
+Beyond the paper's whole-device model, the ARM is also a multi-tenant
+scheduler: tenants register a :class:`~repro.core.scheduler.TenantSpec`
+(weight / priority / quotas) and lease *virtual* accelerators
+(:class:`~repro.core.protocol.VirtualAcceleratorHandle`) that are
+multiplexed onto physical devices — ``slots_per_device`` leases per
+device, memory quota'd per lease, kernel time shared by WFQ inside the
+device's :class:`~repro.gpusim.device.GPUTimeSlicer`.  Admission applies
+weighted fair queueing to backlogged lease requests and priority
+preemption when the pool is full: the lowest-priority active lease below
+the requester's priority is revoked (its daemon is told with a one-way
+``VAC_REVOKE``), and its tenant discovers the revocation as
+``Status.PREEMPTED`` on its next operation, which the resilience layer
+turns into a reacquire-and-replay.
+
 The ARM also records per-accelerator assignment time so the economy claim
 (improved utilization) is measurable.
 """
@@ -32,10 +46,17 @@ from .protocol import (
     Status,
     TAG_ARM,
     TAG_REQUEST,
+    VirtualAcceleratorHandle,
     next_request_id,
     reply_tag,
 )
 from .reliability import DEFAULT_RETRY, RetryPolicy, reliable_rpc
+from .scheduler import (
+    DEFAULT_SLOTS_PER_DEVICE,
+    AdmissionController,
+    TenantSpec,
+    WeightedFairQueue,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..cluster.node import AcceleratorNode
@@ -59,6 +80,11 @@ class AcceleratorRecord:
     #: Total seconds spent in ASSIGNED state (utilization accounting).
     assigned_seconds: float = 0.0
     _assigned_at: float | None = None
+    #: Completed assignment intervals as (start, end) virtual times, so
+    #: windowed utilization can intersect them with the window instead of
+    #: mis-charging pre-window service to it.
+    _history: list[tuple[float, float]] = dataclasses.field(
+        default_factory=list, repr=False)
 
     def handle(self) -> AcceleratorHandle:
         return AcceleratorHandle(ac_id=self.ac_id, daemon_rank=self.daemon_rank)
@@ -68,7 +94,8 @@ class ResourceManager:
     """The ARM service process."""
 
     def __init__(self, rank: RankHandle,
-                 accelerators: _t.Sequence[tuple[int, int]]):
+                 accelerators: _t.Sequence[tuple[int, int]],
+                 slots_per_device: int = DEFAULT_SLOTS_PER_DEVICE):
         """``accelerators`` is a list of (ac_id, daemon_rank) pairs."""
         self.rank = rank
         self.engine = rank.comm.engine
@@ -76,19 +103,43 @@ class ResourceManager:
             ac_id: AcceleratorRecord(ac_id=ac_id, daemon_rank=daemon_rank)
             for ac_id, daemon_rank in accelerators
         }
-        #: FIFO of allocation requests waiting for capacity.
+        #: FIFO of whole-device allocation requests waiting for capacity.
         self._wait_queue: collections.deque[tuple[Request]] = collections.deque()
+        #: Admission policy and WFQ backlog for virtual-accelerator leases.
+        self.admission = AdmissionController(slots_per_device)
+        self._vqueue = WeightedFairQueue()
+        #: Leases ended by preemption or device failure, so a tenant's
+        #: eventual ``vrelease`` of a revoked handle succeeds idempotently.
+        self._revoked_vacs: set[int] = set()
         self._stopped = False
         self._hb_proc = None
         self._hb_stop = False
         #: Accelerators evicted by the health monitor (metrics).
         self.heartbeat_evictions = 0
+        #: Leases revoked to admit higher-priority tenants (metrics).
+        self.preemptions = 0
         self.proc = self.engine.process(self._serve(), name="arm")
 
     # -- queries (direct, for tests and metrics) -------------------------
     def free_count(self) -> int:
         return sum(1 for r in self.records.values()
                    if r.state == AcceleratorState.FREE)
+
+    def _pool_capacity(self) -> int:
+        """Devices that could *ever* satisfy a request (non-BROKEN)."""
+        return sum(1 for r in self.records.values()
+                   if r.state != AcceleratorState.BROKEN)
+
+    def _healthy_acs(self) -> list[int]:
+        """Devices eligible to host virtual leases (non-BROKEN)."""
+        return [r.ac_id for r in self.records.values()
+                if r.state != AcceleratorState.BROKEN]
+
+    def lease_count(self, tenant: str | None = None) -> int:
+        """Active virtual leases (optionally one tenant's)."""
+        if tenant is None:
+            return len(self.admission.leases)
+        return self.admission.active_vaccels(tenant)
 
     def snapshot(self) -> dict[int, dict]:
         """Current registry state, finalized assignment times included."""
@@ -102,25 +153,33 @@ class ResourceManager:
                 "owner_rank": r.owner_rank,
                 "job": r.job,
                 "assigned_seconds": assigned,
+                "leases": self.admission.used_slots(r.ac_id),
             }
         return out
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Mean assigned-time fraction over all accelerators.
 
-        ``elapsed`` restricts accounting to the last ``elapsed`` seconds of
-        virtual time; each accelerator's contribution (including in-flight
-        assignments) is clamped to that window so the fraction never
-        exceeds 1.0.
+        ``elapsed`` restricts accounting to the last ``elapsed`` seconds
+        of virtual time: each assignment interval contributes only its
+        overlap with ``[now - elapsed, now]``, so service completed before
+        the window is not charged against it, and each accelerator's
+        contribution (including in-flight assignments) is clamped to the
+        window so the fraction never exceeds 1.0.
         """
-        total = elapsed if elapsed is not None else self.engine.now
+        now = self.engine.now
+        total = elapsed if elapsed is not None else now
         if total <= 0 or not self.records:
             return 0.0
+        w0 = now - total
         acc = 0.0
         for r in self.records.values():
-            assigned = r.assigned_seconds
+            assigned = 0.0
+            for start, end in r._history:
+                if end > w0:
+                    assigned += end - max(start, w0)
             if r._assigned_at is not None:
-                assigned += min(self.engine.now - r._assigned_at, total)
+                assigned += now - max(r._assigned_at, w0)
             acc += min(assigned, total)
         return acc / (total * len(self.records))
 
@@ -130,6 +189,7 @@ class ResourceManager:
             msg = yield from self.rank.recv(tag=TAG_ARM)
             req: Request = msg.payload
             if req.op == Op.SHUTDOWN:
+                self._drain_on_shutdown()
                 self._reply(req, Response(req.req_id, Status.OK))
                 self._stopped = True
                 break
@@ -139,6 +199,9 @@ class ResourceManager:
                 Op.ARM_STATUS: self._status,
                 Op.ARM_BREAK: self._break,
                 Op.ARM_REPAIR: self._repair,
+                Op.ARM_TENANT: self._tenant,
+                Op.ARM_VALLOC: self._valloc,
+                Op.ARM_VRELEASE: self._vrelease,
             }.get(req.op)
             if handler is None:
                 self._reply(req, Response(req.req_id, Status.ERROR,
@@ -149,11 +212,36 @@ class ResourceManager:
     def _reply(self, req: Request, resp: Response) -> None:
         self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
 
+    def _drain_on_shutdown(self) -> None:
+        """Answer every queued waiter before stopping.
+
+        Without this, requests parked in a wait queue when the ARM shuts
+        down are stranded forever: their clients wait on a reply tag
+        nobody will ever send to.
+        """
+        while self._wait_queue:
+            (req,) = self._wait_queue.popleft()
+            self._reply(req, Response(req.req_id, Status.UNAVAILABLE,
+                                      error="ARM shutting down"))
+        for req in self._vqueue.drain():
+            self._reply(req, Response(req.req_id, Status.UNAVAILABLE,
+                                      error="ARM shutting down"))
+
+    # -- whole-device allocation ------------------------------------------
     def _alloc(self, req: Request) -> None:
         n = req.params.get("count", 1)
         if n <= 0:
             self._reply(req, Response(req.req_id, Status.ERROR,
                                       error=f"invalid count {n!r}"))
+            return
+        capacity = self._pool_capacity()
+        if n > capacity:
+            # Never-satisfiable: more devices than exist outside BROKEN.
+            # Queueing it (even with wait=True) would deadlock the client.
+            self._reply(req, Response(
+                req.req_id, Status.UNAVAILABLE,
+                error=f"{n} accelerator(s) requested but the pool "
+                      f"holds only {capacity}"))
             return
         if not self._try_assign(req):
             if req.params.get("wait", True):
@@ -167,7 +255,8 @@ class ResourceManager:
     def _try_assign(self, req: Request) -> bool:
         n = req.params.get("count", 1)
         free = [r for r in self.records.values()
-                if r.state == AcceleratorState.FREE]
+                if r.state == AcceleratorState.FREE
+                and self.admission.used_slots(r.ac_id) == 0]
         if len(free) < n:
             return False
         chosen = sorted(free, key=lambda r: r.ac_id)[:n]
@@ -208,10 +297,12 @@ class ResourceManager:
             r.state = AcceleratorState.FREE
         self._reply(req, Response(req.req_id, Status.OK))
         self._drain_queue()
+        self._drain_vqueue()
 
     def _finish_assignment(self, r: AcceleratorRecord) -> None:
         if r._assigned_at is not None:
             r.assigned_seconds += self.engine.now - r._assigned_at
+            r._history.append((r._assigned_at, self.engine.now))
             r._assigned_at = None
         r.owner_rank = None
         r.job = None
@@ -240,6 +331,180 @@ class ResourceManager:
         if r.state == AcceleratorState.ASSIGNED:
             self._finish_assignment(r)
         r.state = AcceleratorState.BROKEN
+        # Leases hosted on the failed device are gone with it.
+        for lease in list(self.admission.leases.values()):
+            if lease.ac_id == r.ac_id:
+                self._revoke_lease(lease.vac_id, notify=False)
+        self._fail_unsatisfiable()
+
+    def _fail_unsatisfiable(self) -> None:
+        """Answer waiters that a shrunken pool can never satisfy.
+
+        Called whenever a device leaves the pool (``_break`` or heartbeat
+        eviction): a queued ``alloc(count=N)`` with N above the surviving
+        capacity would otherwise wait forever.
+        """
+        capacity = self._pool_capacity()
+        kept: collections.deque[tuple[Request]] = collections.deque()
+        while self._wait_queue:
+            (req,) = self._wait_queue.popleft()
+            n = req.params.get("count", 1)
+            if n > capacity:
+                self._reply(req, Response(
+                    req.req_id, Status.UNAVAILABLE,
+                    error=f"{n} accelerator(s) requested but the pool "
+                          f"shrank to {capacity}"))
+            else:
+                kept.append((req,))
+        self._wait_queue = kept
+        if capacity == 0:
+            for req in self._vqueue.drain():
+                self._reply(req, Response(
+                    req.req_id, Status.UNAVAILABLE,
+                    error="no healthy accelerators remain"))
+
+    # -- multi-tenant leases ----------------------------------------------
+    def _tenant(self, req: Request) -> None:
+        try:
+            spec = TenantSpec(
+                tenant_id=req.params["tenant"],
+                weight=req.params.get("weight", 1.0),
+                priority=req.params.get("priority", 0),
+                max_vaccels=req.params.get("max_vaccels", 1),
+                mem_quota_bytes=req.params.get("mem_quota_bytes"))
+        except (AllocationError, KeyError) as exc:
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"invalid tenant spec: {exc}"))
+            return
+        self.admission.register(spec)
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    def _valloc(self, req: Request) -> None:
+        tenant = req.params.get("tenant")
+        spec = self.admission.tenants.get(tenant)
+        if spec is None:
+            self._reply(req, Response(req.req_id, Status.ERROR,
+                                      error=f"unknown tenant {tenant!r}"))
+            return
+        if self.admission.active_vaccels(tenant) >= spec.max_vaccels:
+            # Quota violations never queue: waiting cannot make the
+            # tenant's own cap larger, and its other leases releasing
+            # would race its own backlog.  Admission control says no.
+            self._reply(req, Response(
+                req.req_id, Status.DENIED,
+                error=f"tenant {tenant!r} is at its max_vaccels quota "
+                      f"({spec.max_vaccels})"))
+            return
+        if not self._healthy_acs():
+            self._reply(req, Response(req.req_id, Status.UNAVAILABLE,
+                                      error="no healthy accelerators remain"))
+            return
+        if self._try_vassign(req, spec):
+            return
+        if req.params.get("wait", True):
+            self._vqueue.enqueue(tenant, spec.weight, req)
+        else:
+            self._reply(req, Response(
+                req.req_id, Status.UNAVAILABLE,
+                error="no virtual-accelerator slot free"))
+
+    def _try_vassign(self, req: Request, spec: TenantSpec) -> bool:
+        """Place a lease, preempting a lower-priority one when full."""
+        healthy = self._healthy_acs()
+        ac_id = self.admission.place(healthy)
+        if ac_id is None:
+            victim = self.admission.find_victim(spec.priority)
+            if victim is None:
+                return False
+            self._revoke_lease(victim.vac_id, notify=True)
+            self.preemptions += 1
+            ac_id = self.admission.place(healthy)
+            if ac_id is None:  # pragma: no cover - victim freed its slot
+                return False
+        lease = self.admission.grant(spec.tenant_id, ac_id,
+                                     spec.mem_quota_bytes or 0,
+                                     self.engine.now)
+        record = self.records[ac_id]
+        handle = VirtualAcceleratorHandle(
+            vac_id=lease.vac_id, ac_id=ac_id,
+            daemon_rank=record.daemon_rank, tenant=spec.tenant_id)
+        self._reply(req, Response(req.req_id, Status.OK, value={
+            "vac": handle,
+            "share": spec.weight,
+            "mem_quota": spec.mem_quota_bytes,
+        }))
+        return True
+
+    def _revoke_lease(self, vac_id: int, notify: bool) -> None:
+        """End a lease by force (preemption or device failure).
+
+        ``notify`` sends the one-way ``VAC_REVOKE`` to the hosting daemon
+        so the slice stops accepting work and frees its memory; device
+        failure skips it (the daemon is gone, and a silently dropped
+        message would be fine anyway).
+        """
+        lease = self.admission.end(vac_id, self.engine.now)
+        lease.preempted = True
+        self._revoked_vacs.add(vac_id)
+        if notify:
+            record = self.records[lease.ac_id]
+            self.rank.isend(record.daemon_rank, TAG_REQUEST, Request(
+                op=Op.VAC_REVOKE, req_id=next_request_id(),
+                reply_to=self.rank.index,
+                params={"vac_id": vac_id, "oneway": True}))
+
+    def _vrelease(self, req: Request) -> None:
+        vac_id = req.params.get("vac_id")
+        tenant = req.params.get("tenant")
+        lease = self.admission.leases.get(vac_id)
+        if lease is None:
+            if vac_id in self._revoked_vacs:
+                # The lease was already torn down by preemption or device
+                # failure — releasing it again is the tenant noticing.
+                self._revoked_vacs.discard(vac_id)
+                self._reply(req, Response(req.req_id, Status.OK,
+                                          value={"revoked": True}))
+            else:
+                self._reply(req, Response(
+                    req.req_id, Status.DENIED,
+                    error=f"unknown virtual accelerator {vac_id}"))
+            return
+        if lease.tenant_id != tenant:
+            self._reply(req, Response(
+                req.req_id, Status.DENIED,
+                error=f"vac{vac_id} belongs to {lease.tenant_id!r}, "
+                      f"not {tenant!r}"))
+            return
+        self.admission.end(vac_id, self.engine.now)
+        self._reply(req, Response(req.req_id, Status.OK,
+                                  value={"revoked": False}))
+        self._drain_vqueue()
+        # A device with no leases left is whole-device allocatable again.
+        self._drain_queue()
+
+    def _drain_vqueue(self) -> None:
+        while len(self._vqueue):
+            req = self._vqueue.peek()
+            tenant = req.params.get("tenant")
+            spec = self.admission.tenants.get(tenant)
+            if spec is None:  # pragma: no cover - spec removed while queued
+                self._vqueue.pop()
+                self._reply(req, Response(req.req_id, Status.ERROR,
+                                          error=f"unknown tenant {tenant!r}"))
+                continue
+            if self.admission.active_vaccels(tenant) >= spec.max_vaccels:
+                # Quota filled by an earlier grant while this one queued.
+                self._vqueue.pop()
+                self._reply(req, Response(
+                    req.req_id, Status.DENIED,
+                    error=f"tenant {tenant!r} is at its max_vaccels quota "
+                          f"({spec.max_vaccels})"))
+                continue
+            healthy = self._healthy_acs()
+            if self.admission.place(healthy) is None:
+                break
+            self._vqueue.pop()
+            self._try_vassign(req, spec)
 
     # -- health checking --------------------------------------------------
     def start_heartbeat(self, period_s: float = 1e-3,
@@ -293,6 +558,12 @@ class ResourceManager:
                            and rreq.message.payload.status == Status.OK)
                 if rreq.completed and not dl.processed:
                     dl.cancel()
+                if not rreq.completed:
+                    # Missed deadline: cancel the posted receive so each
+                    # missed round doesn't leak a posted irecv, and the
+                    # late PING reply (if it ever lands) is discarded
+                    # instead of accumulating in the unexpected queue.
+                    self.rank.cancel_recv(rreq)
                 if not healthy and r.state != AcceleratorState.BROKEN:
                     self.heartbeat_evictions += 1
                     self._mark_broken(r)
@@ -307,6 +578,7 @@ class ResourceManager:
         r.state = AcceleratorState.FREE
         self._reply(req, Response(req.req_id, Status.OK))
         self._drain_queue()
+        self._drain_vqueue()
 
 
 class ArmClient:
@@ -337,8 +609,10 @@ class ArmClient:
         With ``wait=True`` the request queues FIFO until satisfiable (the
         batch-script style of Sect. V-B) — deadlines are suspended for the
         open-ended wait; with ``wait=False`` it fails immediately with
-        :class:`AllocationError` when capacity is short.  Returns a list
-        of :class:`AcceleratorHandle`.
+        :class:`AllocationError` when capacity is short.  A request for
+        more accelerators than the pool could ever provide fails
+        immediately in both modes instead of waiting forever.  Returns a
+        list of :class:`AcceleratorHandle`.
         """
         resp = yield from self._rpc(Op.ARM_ALLOC,
                                     {"count": count, "wait": wait, "job": job},
@@ -362,3 +636,38 @@ class ArmClient:
     def report_repair(self, ac_id: int):
         """Return a repaired accelerator to the pool (generator)."""
         yield from self._rpc(Op.ARM_REPAIR, {"ac_id": ac_id})
+
+    # -- multi-tenant API -------------------------------------------------
+    def register_tenant(self, tenant: str, weight: float = 1.0,
+                        priority: int = 0, max_vaccels: int = 1,
+                        mem_quota_bytes: int | None = None):
+        """Register (or update) a tenant's scheduling spec (generator)."""
+        yield from self._rpc(Op.ARM_TENANT, {
+            "tenant": tenant, "weight": weight, "priority": priority,
+            "max_vaccels": max_vaccels, "mem_quota_bytes": mem_quota_bytes})
+
+    def valloc(self, tenant: str, wait: bool = True, job: str | None = None):
+        """Lease one virtual accelerator for ``tenant`` (generator).
+
+        Returns ``{"vac": VirtualAcceleratorHandle, "share": float,
+        "mem_quota": int | None}`` — the share and quota the hosting
+        daemon must apply at :data:`Op.VAC_ATTACH`.  With ``wait=True``
+        the request joins the ARM's weighted fair queue under backlog;
+        quota violations (tenant at ``max_vaccels``) fail immediately in
+        both modes.
+        """
+        resp = yield from self._rpc(
+            Op.ARM_VALLOC, {"tenant": tenant, "wait": wait, "job": job},
+            timeout_s=None if wait else ArmClient._USE_POLICY)
+        return resp.value
+
+    def vrelease(self, handle: VirtualAcceleratorHandle):
+        """Return a virtual accelerator (generator).
+
+        Succeeds (with ``{"revoked": True}``) when the lease was already
+        torn down by preemption or device failure, so reacquire paths can
+        release unconditionally.
+        """
+        resp = yield from self._rpc(Op.ARM_VRELEASE, {
+            "vac_id": handle.vac_id, "tenant": handle.tenant})
+        return resp.value

@@ -28,7 +28,7 @@ import typing as _t
 import numpy as np
 
 from ..buffers import ChunkView, zero_copy_enabled
-from ..errors import DeviceMemoryError, KernelError
+from ..errors import DeviceMemoryError, GPUError, KernelError
 from ..mpisim import Phantom, RankHandle
 from ..obs.spans import NULL_SPAN, collector_for, context_from_wire
 from ..sim import Event
@@ -59,6 +59,11 @@ class DaemonStats:
     batched_ops: int = 0
     #: Duplicate requests answered from the dedup cache (at-most-once).
     dedup_hits: int = 0
+    #: Virtual-accelerator slices instantiated / revoked by preemption.
+    vac_attaches: int = 0
+    vac_revocations: int = 0
+    #: Requests refused because their lease had been revoked.
+    preempted_requests: int = 0
     #: Peak host staging bytes in use at any instant (naive transfers
     #: buffer the whole message; the pipeline stays bounded).
     staging_peak: int = 0
@@ -75,6 +80,10 @@ class DaemonStats:
 
 #: At-most-once window: completed responses kept for duplicate detection.
 DEDUP_CACHE_SIZE = 512
+
+#: Lease-lifecycle ops exempt from the revoked-lease guard: they manage
+#: the vac table itself (attach re-creates what the guard would reject).
+_VAC_LIFECYCLE = frozenset({Op.VAC_ATTACH, Op.VAC_DETACH, Op.VAC_REVOKE})
 
 
 class Daemon:
@@ -95,6 +104,10 @@ class Daemon:
         #: Responses of completed non-idempotent requests, for replaying to
         #: duplicate (retried) requests instead of re-executing them.
         self._dedup: collections.OrderedDict[int, Response] = collections.OrderedDict()
+        #: Virtual-accelerator slices attached to this device, by vac id.
+        #: Revoked slices stay in the table so tenant requests against
+        #: them answer PREEMPTED instead of "unknown".
+        self._vacs: dict[int, _t.Any] = {}
         self._stopped = False
         self._obs = collector_for(self.engine)
         #: The span of the request currently being served.  The daemon is
@@ -146,6 +159,20 @@ class Daemon:
                     yield from self._drain_data(req, msg.source)
                     self._reply(req, cached, dedup=True)
                 continue
+            vac_id = req.params.get("vac")
+            if vac_id is not None and req.op not in _VAC_LIFECYCLE:
+                vgpu = self._vacs.get(vac_id)
+                if vgpu is None or vgpu.revoked:
+                    # The lease behind this request is gone (preempted or
+                    # never attached here).  PREEMPTED — not BROKEN — so
+                    # the tenant's resilience layer re-leases instead of
+                    # reporting healthy hardware as failed.
+                    self.stats.preempted_requests += 1
+                    self._reply(req, Response(
+                        req.req_id, Status.PREEMPTED,
+                        error=f"virtual accelerator {vac_id} was revoked"))
+                    yield from self._drain_data(req, msg.source)
+                    continue
             handler = self._handler_map.get(req.op)
             if handler is None:
                 self._reply(req, Response(req.req_id, Status.ERROR,
@@ -174,6 +201,9 @@ class Daemon:
             Op.KERNEL_RUN: self._kernel_run,
             Op.PEER_PUT: self._peer_put,
             Op.BATCH: self._batch,
+            Op.VAC_ATTACH: self._vac_attach,
+            Op.VAC_DETACH: self._vac_detach,
+            Op.VAC_REVOKE: self._vac_revoke,
         }
 
     def _executors(self):
@@ -204,6 +234,68 @@ class Daemon:
             for _ in req.params["blocks"]:
                 yield from self.rank.recv(source=src, tag=req.params["data_tag"])
 
+    # -- virtual accelerators -------------------------------------------
+    def _target(self, params: dict):
+        """The execution target: the physical GPU, or the request's slice.
+
+        The serve loop already rejected requests whose slice is missing
+        or revoked, and the daemon is single-threaded, so resolution here
+        cannot fail for requests that reached a handler.
+        """
+        vac_id = params.get("vac")
+        return self.gpu if vac_id is None else self._vacs[vac_id]
+
+    def _owner_error(self, params: dict, addr: int) -> str | None:
+        """Cross-tenant isolation check for transfer addresses."""
+        vac_id = params.get("vac")
+        if vac_id is None:
+            return None
+        if not self._vacs[vac_id].memory.owns(addr):
+            return (f"address {addr:#x} is not owned by "
+                    f"virtual accelerator {vac_id}")
+        return None
+
+    def _vac_attach(self, req: Request, src: int):
+        """Instantiate a lease granted by the ARM as a device slice."""
+        p = req.params
+        vac_id = p["vac_id"]
+        yield self.engine.timeout(self.cpu.malloc_s)
+        existing = self._vacs.get(vac_id)
+        if existing is not None and not existing.revoked:
+            # Already attached (idempotent re-attach outside the dedup
+            # window); keep the live slice and its allocations.
+            self._reply(req, Response(req.req_id, Status.OK))
+            return
+        self._vacs[vac_id] = self.gpu.virtualize(
+            f"{self.gpu.name}/vac{vac_id}",
+            share=p.get("share", 1.0), mem_quota=p.get("mem_quota"))
+        self.stats.vac_attaches += 1
+        self._reply(req, Response(req.req_id, Status.OK))
+
+    def _vac_detach(self, req: Request, src: int):
+        """Tear a slice down and free everything it still holds."""
+        yield self.engine.timeout(self.cpu.malloc_s)
+        vgpu = self._vacs.pop(req.params["vac_id"], None)
+        freed = vgpu.revoke() if vgpu is not None else 0
+        self._reply(req, Response(req.req_id, Status.OK, value=freed))
+
+    def _vac_revoke(self, req: Request, src: int):
+        """ARM-initiated preemption: stop the slice, free its memory.
+
+        Sent one-way by the ARM (``params["oneway"]``) so its single-
+        threaded serve loop never blocks on a daemon reply; the revoked
+        tenant finds out via PREEMPTED on its next operation.
+        """
+        vgpu = self._vacs.get(req.params["vac_id"])
+        freed = 0
+        if vgpu is not None and not vgpu.revoked:
+            freed = vgpu.revoke()
+            self.stats.vac_revocations += 1
+        if not req.params.get("oneway"):
+            self._reply(req, Response(req.req_id, Status.OK, value=freed))
+        return
+        yield  # pragma: no cover - makes this a generator
+
     # -- simple ops -----------------------------------------------------
     def _exec_ping(self, req_id: int, params: dict):
         return Response(req_id, Status.OK, value="pong")
@@ -216,7 +308,9 @@ class Daemon:
     def _exec_mem_alloc(self, req_id: int, params: dict):
         yield self.engine.timeout(self.cpu.malloc_s)
         try:
-            addr = self.gpu.memory.malloc(params["nbytes"])
+            # Lease-scoped allocations go through the slice's partition:
+            # quota enforcement plus ownership tracking for isolation.
+            addr = self._target(params).memory.malloc(params["nbytes"])
         except DeviceMemoryError as exc:
             return Response(req_id, Status.ERROR, error=str(exc))
         return Response(req_id, Status.OK, value=addr)
@@ -228,7 +322,7 @@ class Daemon:
     def _exec_mem_free(self, req_id: int, params: dict):
         yield self.engine.timeout(self.cpu.malloc_s)
         try:
-            self.gpu.memory.free(params["addr"])
+            self._target(params).memory.free(params["addr"])
         except DeviceMemoryError as exc:
             return Response(req_id, Status.ERROR, error=str(exc))
         return Response(req_id, Status.OK)
@@ -299,6 +393,11 @@ class Daemon:
             self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
             yield from self._drain_data(req, src)
             return
+        owner_err = self._owner_error(p, dst)
+        if owner_err is not None:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=owner_err))
+            yield from self._drain_data(req, src)
+            return
 
         dma_events: list[Event] = []
         first = True
@@ -362,6 +461,10 @@ class Daemon:
         except DeviceMemoryError as exc:
             self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
             return
+        owner_err = self._owner_error(p, src_addr)
+        if owner_err is not None:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=owner_err))
+            return
         # Timing-only buffers (never written with real data) return phantoms.
         is_real = alloc.data is not None
         meta: ArrayMeta = None
@@ -423,6 +526,10 @@ class Daemon:
         except DeviceMemoryError as exc:
             self._reply(req, Response(req.req_id, Status.ERROR, error=str(exc)))
             return
+        owner_err = self._owner_error(p, src_addr)
+        if owner_err is not None:
+            self._reply(req, Response(req.req_id, Status.ERROR, error=owner_err))
+            return
         is_real = alloc.data is not None
         meta: ArrayMeta = None
         if is_real and alloc.dtype is not None and alloc.shape is not None:
@@ -472,12 +579,16 @@ class Daemon:
 
     def _exec_kernel_run(self, req_id: int, params: dict):
         try:
-            result = yield self.gpu.launch(params["name"],
-                                           params.get("params") or {},
-                                           real=params.get("real", True),
-                                           ctx=self._cur_span.context)
+            # Lease-scoped launches go through the slice, i.e. the
+            # device's WFQ time slicer weighted by the tenant's share.
+            result = yield self._target(params).launch(
+                params["name"], params.get("params") or {},
+                real=params.get("real", True), ctx=self._cur_span.context)
         except KernelError as exc:
             return Response(req_id, Status.ERROR, error=str(exc))
+        except GPUError as exc:
+            # The slice was revoked while this launch waited its turn.
+            return Response(req_id, Status.PREEMPTED, error=str(exc))
         self.stats.kernels_run += 1
         return Response(req_id, Status.OK, value=result)
 

@@ -80,6 +80,14 @@ class Op(enum.Enum):
     ARM_STATUS = "arm_status"
     ARM_BREAK = "arm_break"
     ARM_REPAIR = "arm_repair"
+    # Multi-tenant ARM operations:
+    ARM_TENANT = "arm_tenant"       # register a tenant spec with the ARM
+    ARM_VALLOC = "arm_valloc"       # lease a virtual accelerator
+    ARM_VRELEASE = "arm_vrelease"   # return a virtual accelerator
+    # Daemon-side virtual-accelerator lifecycle:
+    VAC_ATTACH = "vac_attach"       # instantiate the lease on the device
+    VAC_DETACH = "vac_detach"       # tear the slice down, free its memory
+    VAC_REVOKE = "vac_revoke"       # ARM-initiated preemption notice
 
 
 #: Ops whose handler is safe to re-execute on a duplicate request: probes,
@@ -91,6 +99,8 @@ IDEMPOTENT_OPS = frozenset({
     Op.ARM_STATUS,
     Op.ARM_BREAK,
     Op.ARM_REPAIR,
+    Op.ARM_TENANT,      # re-registering a tenant spec overwrites in place
+    Op.VAC_REVOKE,      # revoking an already-revoked slice is a no-op
 })
 
 #: Ops the client may automatically resend (same request id) after a
@@ -106,6 +116,9 @@ RETRYABLE_OPS = frozenset({
     Op.ARM_STATUS,
     Op.ARM_BREAK,
     Op.ARM_REPAIR,
+    Op.ARM_TENANT,
+    Op.VAC_ATTACH,      # dedup-cached by the daemon (see DEDUP_OPS)
+    Op.VAC_DETACH,
 })
 
 #: Non-idempotent daemon ops that get at-most-once protection through the
@@ -118,6 +131,8 @@ DEDUP_OPS = frozenset({
     Op.KERNEL_RUN,
     Op.PEER_PUT,
     Op.BATCH,
+    Op.VAC_ATTACH,
+    Op.VAC_DETACH,
 })
 
 #: Control ops a :class:`~repro.core.stream.Stream` may coalesce into one
@@ -142,6 +157,7 @@ class Status(enum.IntEnum):
     BROKEN = 2          # the accelerator hardware has failed
     UNAVAILABLE = 3     # ARM: not enough free accelerators
     DENIED = 4          # ARM: invalid release / ownership violation
+    PREEMPTED = 5       # the virtual accelerator's lease was revoked
 
 
 @dataclasses.dataclass
@@ -207,6 +223,10 @@ class Response:
         from ..errors import AcceleratorFault, AllocationError, MiddlewareError
         if self.status == Status.BROKEN:
             raise AcceleratorFault(self.error or "accelerator failed")
+        if self.status == Status.PREEMPTED:
+            # A revoked lease looks like a device fault to the caller so
+            # the resilience layer's reacquire-and-replay path kicks in.
+            raise AcceleratorFault(self.error or "virtual accelerator preempted")
         if self.status in (Status.UNAVAILABLE, Status.DENIED):
             raise AllocationError(self.error or self.status.name)
         raise MiddlewareError(self.error or f"request {self.req_id} failed")
@@ -226,3 +246,30 @@ class AcceleratorHandle:
     def __post_init__(self) -> None:
         if self.ac_id < 0 or self.daemon_rank < 0:
             raise ProtocolError("invalid accelerator handle")
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtualAcceleratorHandle:
+    """Handle to one leased *virtual* accelerator.
+
+    Carries the physical coordinates (``ac_id`` / ``daemon_rank``) so the
+    existing request routing works unchanged, plus the lease identity
+    (``vac_id`` / ``tenant``) that the daemon uses to resolve the slice.
+    A preempted lease keeps its handle; operations on it answer
+    :data:`Status.PREEMPTED` until the tenant re-allocates.
+    """
+
+    vac_id: int
+    ac_id: int
+    daemon_rank: int
+    tenant: str
+
+    def __post_init__(self) -> None:
+        if self.vac_id <= 0 or self.ac_id < 0 or self.daemon_rank < 0:
+            raise ProtocolError("invalid virtual accelerator handle")
+        if not self.tenant:
+            raise ProtocolError("virtual accelerator handle needs a tenant")
+
+    def physical(self) -> AcceleratorHandle:
+        """The physical handle this lease is multiplexed onto."""
+        return AcceleratorHandle(ac_id=self.ac_id, daemon_rank=self.daemon_rank)

@@ -353,29 +353,59 @@ class ResilientAccelerator(AcceleratorLifecycle):
                 self.recovery_latencies.append(self.engine.now - t0)
                 self.recovered_at.append(self.engine.now)
                 return
-            # REALLOCATE: tell the ARM, get a replacement, replay state.
-            yield from self.arm.report_break(broken.ac_id)
-            span.event("break_reported", ac=broken.ac_id)
-            replacement = yield from self.arm.alloc(
-                count=1, wait=self.config.wait_for_replacement,
-                job=self.config.job)
-            span.event("replacement_assigned", ac=replacement[0].ac_id)
+            # REALLOCATE: acquire a replacement, then replay state onto it.
+            replacement = yield from self._reacquire(broken, span)
             self._retired_requests += self._ac.requests
             self._retired_timeouts += self._ac.timeouts
-            self._ac = self._make_remote(replacement[0])
-            for vaddr, buf in sorted(self._buffers.items()):
-                addr = yield from self._ac.mem_alloc(buf.nbytes)
-                self._vmap[vaddr] = addr
-                yield from self._ac.memcpy_h2d(addr, buf.replay_payload())
-            for _, name in sorted(self._kernels.items()):
-                yield from self._ac.kernel_create(name)
-                if name in self._kernel_args:
-                    self._ac.kernel_set_args(
-                        name, self._translate_params(self._kernel_args[name]))
-            span.set(replayed_buffers=len(self._buffers),
-                     replayed_kernels=len(self._kernels))
+            self._ac = self._make_remote(replacement)
+            yield from self._prepare_replacement(span)
+            yield from self._replay_state(span)
             self.recovery_latencies.append(self.engine.now - t0)
             self.recovered_at.append(self.engine.now)
+
+    def _reacquire(self, broken: AcceleratorHandle, span):
+        """Obtain the replacement handle (generator, policy-specific).
+
+        The whole-device path reports the break to the ARM and allocates
+        a fresh accelerator; :class:`TenantAccelerator` overrides this to
+        release its revoked lease and lease anew instead.
+        """
+        yield from self.arm.report_break(broken.ac_id)
+        span.event("break_reported", ac=broken.ac_id)
+        replacement = yield from self.arm.alloc(
+            count=1, wait=self.config.wait_for_replacement,
+            job=self.config.job)
+        span.event("replacement_assigned", ac=replacement[0].ac_id)
+        return replacement[0]
+
+    def _prepare_replacement(self, span):
+        """Hook between front-end swap and state replay (generator).
+
+        The whole-device path needs nothing here; lease-based subclasses
+        attach the new slice on its daemon before replay can allocate.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _replay_state(self, span):
+        """Re-create buffers and kernels on the replacement (generator).
+
+        Buffers replay from their host shadows in virtual-address order
+        and kernels in creation order, so the rebuilt device state is
+        bit-identical and deterministic regardless of which operation the
+        fault interrupted.
+        """
+        for vaddr, buf in sorted(self._buffers.items()):
+            addr = yield from self._ac.mem_alloc(buf.nbytes)
+            self._vmap[vaddr] = addr
+            yield from self._ac.memcpy_h2d(addr, buf.replay_payload())
+        for _, name in sorted(self._kernels.items()):
+            yield from self._ac.kernel_create(name)
+            if name in self._kernel_args:
+                self._ac.kernel_set_args(
+                    name, self._translate_params(self._kernel_args[name]))
+        span.set(replayed_buffers=len(self._buffers),
+                 replayed_kernels=len(self._kernels))
 
     # -- the ac* surface --------------------------------------------------
     def mem_alloc(self, nbytes: int):
@@ -483,3 +513,82 @@ class ResilientAccelerator(AcceleratorLifecycle):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ResilientAccelerator ac{self._ac.handle.ac_id} "
                 f"policy={self.config.policy.value} failovers={self.failovers}>")
+
+
+class TenantAccelerator(ResilientAccelerator):
+    """Failover wrapper over one tenant's virtual-accelerator lease.
+
+    The ARM may revoke a lease at any moment to admit a higher-priority
+    tenant; the next operation then fails with
+    :class:`~repro.errors.AcceleratorFault` (``Status.PREEMPTED`` on the
+    wire).  Recovery releases the revoked lease (idempotent), leases a
+    fresh virtual accelerator — queueing under the tenant's WFQ weight
+    when ``config.wait_for_replacement`` — attaches it on the hosting
+    daemon with the granted share and memory quota, and replays tracked
+    buffers and kernels from their host shadows, exactly like whole-device
+    failover.  The preempted tenant's device state is thereby parked in
+    the replay machinery while it waits its turn again.
+
+    Construct via :func:`tenant_accelerator` or directly from an ARM
+    ``valloc`` grant; the initial ``VAC_ATTACH`` must have been issued
+    (both helpers do).
+    """
+
+    def __init__(self, arm: "ArmClient",
+                 make_remote: _t.Callable[[AcceleratorHandle], "RemoteAccelerator"],
+                 grant: dict, config: FailoverConfig | None = None):
+        super().__init__(arm, make_remote, grant["vac"], config=config)
+        self.tenant: str = grant["vac"].tenant
+        self._grant = grant
+        #: Leases this wrapper lost to preemption and survived.
+        self.preemptions_survived = 0
+
+    def _reacquire(self, broken, span):
+        # The revoked lease is already torn down server-side; vrelease
+        # acknowledges it (and is a plain release if the fault was a
+        # timeout rather than a preemption).
+        yield from self.arm.vrelease(broken)
+        span.event("lease_released", vac=broken.vac_id)
+        self._grant = yield from self.arm.valloc(
+            self.tenant, wait=self.config.wait_for_replacement,
+            job=self.config.job)
+        handle = self._grant["vac"]
+        span.event("lease_reacquired", vac=handle.vac_id, ac=handle.ac_id)
+        self.preemptions_survived += 1
+        return handle
+
+    def _prepare_replacement(self, span):
+        # The new slice must exist on its daemon before replay allocates.
+        yield from self._ac.vac_attach(share=self._grant["share"],
+                                       mem_quota=self._grant["mem_quota"])
+        span.event("lease_attached", vac=self._grant["vac"].vac_id)
+
+    def release_lease(self):
+        """Detach the slice and return the lease to the ARM (generator)."""
+        try:
+            yield from self._ac.vac_detach()
+        except AcceleratorFault:
+            # Already revoked daemon-side; the ARM release below settles it.
+            pass
+        yield from self.arm.vrelease(self._ac.handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TenantAccelerator {self.tenant!r} "
+                f"vac{self._ac.handle.vac_id} "
+                f"preemptions={self.preemptions_survived}>")
+
+
+def tenant_accelerator(arm: "ArmClient",
+                       make_remote: _t.Callable[[AcceleratorHandle], "RemoteAccelerator"],
+                       tenant: str, config: FailoverConfig | None = None,
+                       wait: bool = True, job: str | None = None):
+    """Lease and attach a virtual accelerator for ``tenant`` (generator).
+
+    Performs the full acquisition handshake — ARM ``valloc`` then daemon
+    ``VAC_ATTACH`` — and returns a ready :class:`TenantAccelerator`.
+    """
+    grant = yield from arm.valloc(tenant, wait=wait, job=job)
+    ac = TenantAccelerator(arm, make_remote, grant, config=config)
+    yield from ac.current.vac_attach(share=grant["share"],
+                                     mem_quota=grant["mem_quota"])
+    return ac

@@ -1,9 +1,16 @@
 """Virtual GPU substrate: device memory, PCIe DMA, kernels, devices."""
 
-from .device import GPUDevice, GPUSpec, TESLA_C1060, XEON_PHI_KNC
+from .device import (
+    GPUDevice,
+    GPUSpec,
+    GPUTimeSlicer,
+    TESLA_C1060,
+    VirtualGPU,
+    XEON_PHI_KNC,
+)
 from .dma import DMAEngine, PCIeModel, PCIE_GEN2_X16
 from .kernels import Kernel, KernelRegistry
-from .memory import Allocation, DeviceMemory
+from .memory import Allocation, DeviceMemory, MemoryPartition
 from .stdkernels import default_registry, shared_default_registry
 from .stream import Stream
 from . import timing
@@ -11,6 +18,8 @@ from . import timing
 __all__ = [
     "GPUDevice",
     "GPUSpec",
+    "GPUTimeSlicer",
+    "VirtualGPU",
     "TESLA_C1060",
     "XEON_PHI_KNC",
     "DMAEngine",
@@ -20,6 +29,7 @@ __all__ = [
     "KernelRegistry",
     "DeviceMemory",
     "Allocation",
+    "MemoryPartition",
     "Stream",
     "default_registry",
     "shared_default_registry",

@@ -12,6 +12,8 @@ overlap the pipeline copy protocol exploits.
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 
 from ..errors import GPUError
 from ..obs.spans import NULL_SPAN, collector_for
@@ -19,7 +21,7 @@ from ..sim import Engine, Event, Resource, Tracer, NULL_TRACER
 from ..units import GiB, USEC
 from .dma import DMAEngine, PCIeModel, PCIE_GEN2_X16
 from .kernels import KernelRegistry
-from .memory import DeviceMemory
+from .memory import DeviceMemory, MemoryPartition
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +105,8 @@ class GPUDevice:
         #: Cumulative compute-busy seconds (utilization accounting).
         self.busy_time = 0.0
         self.kernels_launched = 0
+        #: Lazily created WFQ arbiter for virtual accelerators.
+        self._slicer: GPUTimeSlicer | None = None
 
     def launch(self, kernel_name: str, params: dict | None = None,
                real: bool = True, ctx=None) -> Event:
@@ -149,5 +153,152 @@ class GPUDevice:
         total = elapsed if elapsed is not None else self.engine.now
         return self.busy_time / total if total > 0 else 0.0
 
+    # -- virtualization ---------------------------------------------------
+    @property
+    def slicer(self) -> "GPUTimeSlicer":
+        """The WFQ kernel arbiter (created on first use)."""
+        if self._slicer is None:
+            self._slicer = GPUTimeSlicer(self)
+        return self._slicer
+
+    def virtualize(self, name: str, share: float = 1.0,
+                   mem_quota: int | None = None) -> "VirtualGPU":
+        """Create a virtual accelerator multiplexed onto this device.
+
+        ``share`` is the WFQ weight of the virtual GPU's kernel launches
+        against its siblings; ``mem_quota`` caps its device-memory bytes
+        (default: the whole device — quota enforcement without
+        partitioning).
+        """
+        quota = mem_quota if mem_quota is not None else self.spec.mem_bytes
+        partition = MemoryPartition(self.memory, quota, name=name)
+        return VirtualGPU(self, self.slicer, name, share=share,
+                          partition=partition)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<GPUDevice {self.name} ({self.spec.name})>"
+
+
+class GPUTimeSlicer:
+    """Weighted-fair-queueing arbiter for kernel launches on one device.
+
+    Time-slicing at kernel granularity: each :class:`VirtualGPU` submits
+    launches tagged with a *virtual finish time* — its own virtual clock
+    advanced by ``duration / share`` — and the slicer dispatches queued
+    launches to the physical device one at a time in tag order
+    (start-time fair queueing).  Kernels are never interrupted mid-run
+    (real GPUs cannot do that either); fairness emerges across launches.
+    Ties break deterministically by submission order.
+    """
+
+    def __init__(self, device: "GPUDevice"):
+        self.device = device
+        self.engine = device.engine
+        self._queue: list[tuple[float, int, tuple]] = []
+        self._seq = itertools.count()
+        self._busy = False
+        #: System virtual time: the largest tag dispatched so far.  New
+        #: arrivals start no earlier than this, so an idle virtual GPU
+        #: cannot bank unbounded credit while others run.
+        self._vtime = 0.0
+        self._vgpu_vtime: dict[str, float] = {}
+        self.dispatched = 0
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, vgpu: "VirtualGPU", kernel_name: str,
+               params: dict | None, real: bool, ctx=None) -> Event:
+        """Queue one launch for ``vgpu``; the event fires at completion."""
+        kernel = self.device.registry.get(kernel_name)
+        duration = kernel.cost(params or {}, self.device.spec)
+        start = max(self._vtime, self._vgpu_vtime.get(vgpu.name, 0.0))
+        tag = start + duration / vgpu.share
+        self._vgpu_vtime[vgpu.name] = tag
+        done = self.engine.event()
+        heapq.heappush(self._queue,
+                       (tag, next(self._seq),
+                        (vgpu, kernel_name, params, real, ctx, done)))
+        self._pump()
+        return done
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        tag, _, entry = heapq.heappop(self._queue)
+        self._busy = True
+        self._vtime = max(self._vtime, tag)
+        self.dispatched += 1
+        vgpu, kernel_name, params, real, ctx, done = entry
+        started = self.engine.now
+        ev = self.device.launch(kernel_name, params, real=real, ctx=ctx)
+
+        def _complete(_ev: Event) -> None:
+            vgpu.kernels_launched += 1
+            vgpu.busy_time += self.engine.now - started
+            self._busy = False
+            done.succeed(_ev.value)
+            self._pump()
+
+        ev.add_callback(_complete)
+
+
+class VirtualGPU:
+    """A tenant's slice of one physical GPU: quota'd memory + WFQ compute.
+
+    Duck-types the :class:`GPUDevice` surface the daemon and
+    :class:`~repro.gpusim.stream.Stream` rely on (``engine`` / ``name`` /
+    ``spec`` / ``memory`` / ``dma`` / ``launch``), so existing device
+    consumers work unchanged on a virtual handle.  ``memory`` is a
+    :class:`~repro.gpusim.memory.MemoryPartition`; kernel launches go
+    through the device's :class:`GPUTimeSlicer` with this virtual GPU's
+    ``share`` as the WFQ weight.  The DMA engine is shared unweighted
+    (PCIe is rarely the multi-tenant bottleneck; the fluid model already
+    divides bandwidth among concurrent copies).
+    """
+
+    def __init__(self, device: "GPUDevice", slicer: "GPUTimeSlicer",
+                 name: str, share: float = 1.0,
+                 partition: MemoryPartition | None = None):
+        if share <= 0:
+            raise GPUError(f"virtual GPU share must be positive: {share!r}")
+        self.device = device
+        self.engine = device.engine
+        self.spec = device.spec
+        self.registry = device.registry
+        self.slicer = slicer
+        self.name = name
+        self.share = share
+        self.memory = partition if partition is not None else (
+            MemoryPartition(device.memory, device.spec.mem_bytes, name=name))
+        self.dma = device.dma
+        self.busy_time = 0.0
+        self.kernels_launched = 0
+        #: Set when the lease behind this virtual GPU was revoked.
+        self.revoked = False
+
+    def launch(self, kernel_name: str, params: dict | None = None,
+               real: bool = True, ctx=None) -> Event:
+        """Launch a kernel through the WFQ arbiter."""
+        if self.revoked:
+            raise GPUError(f"virtual GPU {self.name} has been revoked")
+        return self.slicer.submit(self, kernel_name, params, real, ctx)
+
+    def stream(self, name: str | None = None):
+        """An in-order :class:`~repro.gpusim.stream.Stream` on this slice."""
+        from .stream import Stream
+        return Stream(self, name=name)
+
+    def revoke(self) -> int:
+        """Preempt this virtual GPU: free its memory, refuse new launches.
+
+        Returns the bytes freed.  In-flight kernels finish (kernel-level
+        granularity); the owning tenant discovers the revocation on its
+        next operation and re-allocates through the ARM.
+        """
+        self.revoked = True
+        return self.memory.release_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<VirtualGPU {self.name} on {self.device.name} "
+                f"share={self.share:g}>")

@@ -290,3 +290,78 @@ class DeviceMemory:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<DeviceMemory {self.used_bytes}/{self.capacity}B used, "
                 f"{len(self._allocs)} allocs>")
+
+
+class MemoryPartition:
+    """A byte-quota view of one :class:`DeviceMemory` for a single tenant.
+
+    Partitions are *accounting* quotas, not reserved carve-outs: all
+    partitions allocate from the shared device allocator, but each one
+    caps the total bytes its owner may hold and tracks which base
+    addresses it owns, so the daemon can refuse cross-tenant frees and
+    reads.  Creating a partition never fails — a partition whose quota
+    exceeds the currently free device memory simply sees ``malloc`` fail
+    at the device level when the device itself runs short.
+    """
+
+    def __init__(self, memory: DeviceMemory, quota_bytes: int, name: str = ""):
+        if quota_bytes <= 0:
+            raise DeviceMemoryError(
+                f"partition quota must be positive: {quota_bytes!r}")
+        self.memory = memory
+        self.quota_bytes = int(quota_bytes)
+        self.name = name
+        self._owned: dict[int, int] = {}  # base addr -> nbytes
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._owned.values())
+
+    @property
+    def free_quota(self) -> int:
+        return self.quota_bytes - self.used_bytes
+
+    def owns(self, addr: int) -> bool:
+        return addr in self._owned
+
+    def check(self, addr: int) -> int:
+        """Validate ownership of base address ``addr`` (returns it)."""
+        if addr not in self._owned:
+            raise DeviceMemoryError(
+                f"address {addr:#x} is not owned by partition {self.name!r}")
+        return addr
+
+    def malloc(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            raise DeviceMemoryError(
+                f"allocation size must be positive: {nbytes!r}")
+        if nbytes > self.free_quota:
+            raise DeviceMemoryError(
+                f"partition {self.name!r} quota exceeded: requested {nbytes}B, "
+                f"{self.free_quota}B of {self.quota_bytes}B quota free")
+        addr = self.memory.malloc(nbytes)
+        self._owned[addr] = nbytes
+        return addr
+
+    def free(self, addr: int) -> None:
+        self.check(addr)
+        self.memory.free(addr)
+        del self._owned[addr]
+
+    def release_all(self) -> int:
+        """Free every allocation this partition owns; returns bytes freed.
+
+        Used when a virtual accelerator is detached or preempted: the
+        tenant's device state is dropped wholesale (its host-side shadow
+        is what survives, via the replay machinery).
+        """
+        freed = 0
+        for addr, nbytes in sorted(self._owned.items()):
+            self.memory.free(addr)
+            freed += nbytes
+        self._owned.clear()
+        return freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MemoryPartition {self.name!r} "
+                f"{self.used_bytes}/{self.quota_bytes}B>")

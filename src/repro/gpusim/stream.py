@@ -16,15 +16,21 @@ from ..errors import GPUError
 from ..sim import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from .device import GPUDevice
+    from .device import GPUDevice, VirtualGPU
 
 
 class Stream:
-    """An in-order queue of kernel launches and DMA copies."""
+    """An in-order queue of kernel launches and DMA copies.
+
+    ``device`` may be a physical :class:`~repro.gpusim.device.GPUDevice`
+    or a tenant's :class:`~repro.gpusim.device.VirtualGPU` — streams only
+    rely on the shared ``launch`` / ``dma`` surface, so per-tenant
+    streams time-slice through the owning slice's WFQ share.
+    """
 
     _ids = 0
 
-    def __init__(self, device: "GPUDevice", name: str | None = None):
+    def __init__(self, device: "GPUDevice | VirtualGPU", name: str | None = None):
         self.device = device
         self.engine = device.engine
         Stream._ids += 1

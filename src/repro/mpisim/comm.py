@@ -61,12 +61,14 @@ class Request:
     ``done`` value (and ``req.message``) is the :class:`Message`.
     """
 
-    __slots__ = ("done", "message", "kind")
+    __slots__ = ("done", "message", "kind", "cancelled")
 
     def __init__(self, engine: Engine, kind: str):
         self.done = Event(engine)
         self.message: Message | None = None
         self.kind = kind
+        #: True once :meth:`Communicator.cancel_recv` removed this receive.
+        self.cancelled = False
 
     @property
     def completed(self) -> bool:
@@ -112,7 +114,7 @@ class _Rts:
 
 
 class _RankState:
-    __slots__ = ("posted", "unexpected", "coll_seq", "probers")
+    __slots__ = ("posted", "unexpected", "coll_seq", "probers", "discards")
 
     def __init__(self) -> None:
         self.posted = MatchList()
@@ -120,6 +122,9 @@ class _RankState:
         self.coll_seq = 0
         #: Blocking probes waiting for a matching arrival: (src, tag, event).
         self.probers: list[tuple[int, int, Event]] = []
+        #: One-shot (src, tag) patterns of cancelled receives: the next
+        #: matching arrival is dropped instead of rotting in ``unexpected``.
+        self.discards: list[tuple[int, int]] = []
 
 
 class World:
@@ -285,6 +290,33 @@ class Communicator:
             state.posted.add(source, tag, _PostedRecv(req))
         return req
 
+    def cancel_recv(self, me: int, request: Request) -> bool:
+        """Cancel a posted, still-incomplete receive (MPI_Cancel-style).
+
+        Removes the posted entry so it cannot leak, and registers a
+        one-shot discard for its ``(source, tag)`` pattern: if the message
+        the receive was waiting for is still in flight, its eventual
+        arrival is dropped instead of accumulating in the unexpected
+        queue (the ARM heartbeat uses this for missed PING rounds, whose
+        reply tags are never received again).  Returns True if the
+        receive was pending and is now cancelled; False if it had already
+        completed (its message was delivered — cancellation lost the
+        race, exactly like MPI_Cancel).
+        """
+        if request.kind != "recv":
+            raise MPIError(f"cancel_recv on a {request.kind} request")
+        if request.completed or request.cancelled:
+            return False
+        state = self._states[me]
+        for i, (src, tag, item) in enumerate(state.posted._entries):
+            if isinstance(item, _PostedRecv) and item.request is request:
+                del state.posted._entries[i]
+                request.cancelled = True
+                request.done.cancel()
+                state.discards.append((src, tag))
+                return True
+        return False
+
     # -- probing --------------------------------------------------------
     def iprobe(self, me: int, source: int = ANY_SOURCE,
                tag: int = ANY_TAG) -> Envelope | None:
@@ -320,6 +352,17 @@ class Communicator:
 
     def _on_arrival(self, dst: int, arrival: _Arrival) -> None:
         state = self._states[dst]
+        if state.discards:
+            # A cancelled receive's in-flight message: drop it (one-shot).
+            env = arrival.env
+            for i, (src, tag) in enumerate(state.discards):
+                if _matches_probe(src, tag, env.source, env.tag):
+                    del state.discards[i]
+                    if arrival.rts is not None:
+                        # Rendezvous: complete the sender without moving
+                        # the payload anywhere (receiver-side truncation).
+                        arrival.rts.send_request._complete(None)
+                    return
         # Wake matching probes first, so a probe observes the message even
         # when a posted receive consumes it in the same instant.
         if state.probers:
@@ -372,6 +415,10 @@ class RankHandle:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         return self.comm.irecv(self.index, source, tag)
+
+    def cancel_recv(self, request: Request) -> bool:
+        """Cancel a pending posted receive (see :meth:`Communicator.cancel_recv`)."""
+        return self.comm.cancel_recv(self.index, request)
 
     def send(self, dst: int, tag: int, payload: _t.Any = None):
         """Blocking send (generator)."""

@@ -1,5 +1,5 @@
-"""Workloads: bandwidth micro-benchmarks, linear algebra, MP2C."""
+"""Workloads: bandwidth micro-benchmarks, linear algebra, MP2C, tenants."""
 
-from . import bandwidth, linalg, mp2c, pingpong
+from . import bandwidth, linalg, mp2c, pingpong, tenants
 
-__all__ = ["bandwidth", "pingpong", "linalg", "mp2c"]
+__all__ = ["bandwidth", "pingpong", "linalg", "mp2c", "tenants"]

@@ -1,0 +1,32 @@
+"""Tests for the ``tenants`` CLI subcommand."""
+
+import json
+
+from repro.analysis.cli import main
+
+
+class TestTenantsCommand:
+    def test_quick_smoke_prints_report(self, capsys):
+        assert main(["tenants", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "fairness" in out
+
+    def test_check_determinism(self, capsys):
+        assert main(["tenants", "--quick", "--check-determinism"]) == 0
+        assert "determinism check passed" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "tenants.json"
+        assert main(["tenants", "--quick", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["submitted"] == doc["completed"] + doc["rejected"] + doc["aborted"]
+        assert "latency_p99_s" in doc
+        assert 0.0 < doc["fairness"] <= 1.0
+        assert doc["per_tenant"]
+
+    def test_custom_scale(self, capsys):
+        assert main(["tenants", "--tenants", "30", "--accelerators", "2",
+                     "--gateways", "2", "--slots", "2", "--window-ms", "1",
+                     "--seed", "5"]) == 0
+        assert "tenants 30" in capsys.readouterr().out
