@@ -9,6 +9,9 @@ Usage::
                                 [--check-identity]
     python -m repro tenants [--tenants N] [--accelerators M] [--seed S]
                             [--quick] [--json out.json] [--check-determinism]
+    python -m repro chaos <scenario|all|list> [--quick] [--seed S]
+                          [--json out.json] [--check-determinism]
+                          [--check EXPECTATIONS.json]
     python -m repro perf [--quick] [--json BENCH.json] [--against OLD.json]
                          [--check BASELINE.json]
 
@@ -17,6 +20,14 @@ result as Chrome trace-event JSON (load it in ``chrome://tracing`` or
 https://ui.perfetto.dev) and/or an ASCII timeline.  ``--check-identity``
 re-runs the experiment untraced and asserts both produce identical
 numbers — tracing must never perturb virtual time.
+
+``chaos`` replays one (or every) scenario from the chaos library
+(:mod:`repro.chaos`) against the discovery-driven cluster and prints the
+recovery-latency / SLO-violation scores.  ``--check-determinism`` runs
+each scenario twice and asserts bit-identical trace digests;
+``--check`` gates the scores against checked-in expectation bounds
+(``benchmarks/chaos_expectations.json``; generated with ``--quick``,
+seed 0) — the CI chaos-smoke job runs exactly that.
 
 ``perf`` measures *host* wall-clock performance of the simulator itself
 (see :mod:`repro.perf`): ``--json`` writes a ``BENCH_*.json`` document,
@@ -168,6 +179,64 @@ def run_tenants(args: argparse.Namespace,
     return 0
 
 
+def run_chaos(args: argparse.Namespace,
+              out: _t.TextIO | None = None) -> int:
+    """The ``chaos`` subcommand: seeded elasticity/failure scenarios."""
+    from .. import chaos as _chaos
+    out = out if out is not None else sys.stdout
+    if args.scenario == "list":
+        for name, sc in _chaos.SCENARIOS.items():
+            out.write(f"{name:<18} {sc.description}\n")
+        return 0
+    names = (list(_chaos.SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    for name in names:
+        if name not in _chaos.SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; "
+                f"try: {', '.join(_chaos.SCENARIOS)}, all, list")
+    if args.quick:
+        cfg = _chaos.ChaosConfig(n_tenants=24, window_s=10e-3,
+                                 seed=args.seed)
+    else:
+        cfg = _chaos.ChaosConfig(seed=args.seed)
+    bounds = None
+    if args.check_path:
+        with open(args.check_path) as fh:
+            bounds = json.load(fh)
+    problems: list[str] = []
+    docs: dict[str, dict] = {}
+    for name in names:
+        report = _chaos.run(name, cfg)
+        out.write(_chaos.format_report(report) + "\n")
+        if args.check_determinism:
+            again = _chaos.run(name, cfg)
+            if (again.digest != report.digest
+                    or again.buffer_digests != report.buffer_digests):
+                raise SystemExit(
+                    f"chaos {name}: same seed produced a different trace "
+                    f"digest — run is not deterministic")
+            out.write("determinism check passed: same seed, same digest\n")
+        if bounds is not None:
+            problems.extend(
+                _chaos.check_expectations(report, bounds.get(name, {})))
+        docs[name] = report.to_dict()
+        out.write("\n")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(docs if len(names) > 1 else docs[names[0]], fh,
+                      indent=1)
+        out.write(f"report written to {args.json_path}\n")
+    if problems:
+        for problem in problems:
+            out.write(problem + "\n")
+        raise SystemExit(
+            f"chaos: {len(problems)} expectation bound(s) violated")
+    if bounds is not None:
+        out.write("expectation bounds check passed\n")
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -218,6 +287,22 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                       help="also write the report as JSON")
     tenp.add_argument("--check-determinism", action="store_true",
                       help="run twice and assert bit-identical digests")
+    chaosp = sub.add_parser(
+        "chaos", help="run a chaos scenario on the discovered pool")
+    chaosp.add_argument("scenario",
+                        help="scenario name, 'all', or 'list'")
+    chaosp.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    chaosp.add_argument("--quick", action="store_true",
+                        help="smaller population for a fast look (CI smoke)")
+    chaosp.add_argument("--json", dest="json_path", default=None,
+                        help="also write the report(s) as JSON")
+    chaosp.add_argument("--check-determinism", action="store_true",
+                        help="run each scenario twice and assert "
+                             "bit-identical digests")
+    chaosp.add_argument("--check", dest="check_path", default=None,
+                        help="expectation-bounds JSON to gate scores "
+                             "against (CI smoke)")
     perfp = sub.add_parser(
         "perf", help="run the wall-clock benchmark suite")
     perfp.add_argument("--quick", action="store_true",
@@ -238,6 +323,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return main_run(args.quick, args.json_path, args.against, args.check)
     if args.cmd == "tenants":
         return run_tenants(args)
+    if args.cmd == "chaos":
+        return run_chaos(args)
     if args.cmd == "trace":
         trace_experiment(args.experiment, quick=args.quick,
                          out_path=args.out_path, timeline=args.timeline,

@@ -1,0 +1,30 @@
+"""Chaos scenario library over the dynamic resource-discovery layer.
+
+Composable, seeded, replayable elasticity/failure scenarios for the
+discovered accelerator pool: node join/leave waves, rolling daemon
+upgrades, network partitions, stragglers, slow links, and heartbeat
+flapping — each scored with recovery-latency and SLO-violation metrics
+and verified by deterministic replay (same seed, same trace digest).
+"""
+
+from .scenarios import (
+    ChaosConfig,
+    ChaosReport,
+    Injection,
+    SCENARIOS,
+    Scenario,
+    check_expectations,
+    format_report,
+    run,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "Injection",
+    "Scenario",
+    "SCENARIOS",
+    "check_expectations",
+    "format_report",
+    "run",
+]

@@ -38,9 +38,21 @@ from .specs import ClusterSpec
 
 
 class Cluster:
-    """A fully assembled simulated accelerator cluster."""
+    """A fully assembled simulated accelerator cluster.
 
-    def __init__(self, spec: ClusterSpec, tracer: Tracer = NULL_TRACER):
+    With ``discovery=True`` the ARM starts with an *empty* pool and
+    builds membership from the daemons' discovery feed instead of the
+    static roster: every accelerator node gets a
+    :class:`~repro.core.discovery.DiscoveryAgent` (in ``self.agents``,
+    keyed by ac id), and the agents of ``initial_accelerators`` (default:
+    all) start publishing immediately with staggered phases.  Remaining
+    agents stay dormant until started — the autoscaler's headroom.
+    """
+
+    def __init__(self, spec: ClusterSpec, tracer: Tracer = NULL_TRACER,
+                 discovery: bool = False,
+                 initial_accelerators: int | None = None,
+                 report_period_s: float = 5e-4):
         self.spec = spec
         self.tracer = tracer
         self.engine = Engine()
@@ -76,10 +88,29 @@ class Cluster:
             self.daemons.append(Daemon(node, node.rank))
 
         # The ARM service.
-        self.arm = ResourceManager(
-            self.comm.rank(self.arm_rank_index),
-            [(node.ac_id, node.rank.index) for node in self.accelerator_nodes],
-        )
+        roster = ([] if discovery else
+                  [(node.ac_id, node.rank.index)
+                   for node in self.accelerator_nodes])
+        self.arm = ResourceManager(self.comm.rank(self.arm_rank_index), roster)
+
+        #: Discovery agents by ac id (empty in static-roster mode).
+        self.agents: dict[int, "DiscoveryAgent"] = {}
+        if discovery:
+            from ..core.discovery import DiscoveryAgent
+            n = spec.n_accelerators
+            initial = n if initial_accelerators is None else initial_accelerators
+            if not 0 <= initial <= n:
+                raise ClusterConfigError(
+                    f"initial_accelerators {initial} out of range 0..{n}")
+            for j, daemon in enumerate(self.daemons):
+                # Staggered phases: reports spread over one period instead
+                # of the whole fleet publishing at the same instant.
+                self.agents[j] = DiscoveryAgent(
+                    daemon, j, self.arm_rank_index,
+                    period_s=report_period_s,
+                    phase_s=(j * report_period_s) / max(n, 1))
+            for j in range(initial):
+                self.agents[j].start()
 
     # -- application-facing helpers --------------------------------------
     def compute_rank(self, cn_index: int):

@@ -21,6 +21,12 @@ from .blocksize import (
     pipeline,
 )
 from .daemon import Daemon, DaemonStats
+from .discovery import (
+    Autoscaler,
+    AutoscalerPolicy,
+    CapabilityReport,
+    DiscoveryAgent,
+)
 from .faults import FaultInjector
 from .protocol import (
     AcceleratorHandle,
@@ -83,6 +89,10 @@ __all__ = [
     "TenantAccelerator",
     "tenant_accelerator",
     "FaultInjector",
+    "DiscoveryAgent",
+    "CapabilityReport",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "RetryPolicy",
     "DEFAULT_RETRY",
     "FailoverPolicy",

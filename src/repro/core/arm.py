@@ -118,6 +118,21 @@ class ResourceManager:
         self.heartbeat_evictions = 0
         #: Leases revoked to admit higher-priority tenants (metrics).
         self.preemptions = 0
+        # -- resource discovery (dynamic pool membership) --
+        #: Last report time per discovered accelerator.  Statically
+        #: rostered devices never enter this map, so the TTL sweeper
+        #: cannot evict them and the static path behaves as before.
+        self._last_seen: dict[int, float] = {}
+        #: Ordered pool-membership log: ``(time, kind, ac_id)`` with kind
+        #: in {join, rejoin, leave[:reason], evict, break, repair}.  The
+        #: chaos scorer derives recovery latency from it.
+        self.pool_events: list[tuple[float, str, int]] = []
+        self.joins = 0
+        self.leaves = 0
+        self.ttl_evictions = 0
+        self.discovery_ttl_s: float | None = None
+        self._sweep_proc = None
+        self._sweep_stop = False
         self.proc = self.engine.process(self._serve(), name="arm")
 
     # -- queries (direct, for tests and metrics) -------------------------
@@ -202,6 +217,8 @@ class ResourceManager:
                 Op.ARM_TENANT: self._tenant,
                 Op.ARM_VALLOC: self._valloc,
                 Op.ARM_VRELEASE: self._vrelease,
+                Op.ARM_REPORT: self._report,
+                Op.ARM_LEAVE: self._leave,
             }.get(req.op)
             if handler is None:
                 self._reply(req, Response(req.req_id, Status.ERROR,
@@ -328,6 +345,12 @@ class ResourceManager:
         self._reply(req, Response(req.req_id, Status.OK))
 
     def _mark_broken(self, r: AcceleratorRecord) -> None:
+        if r.state == AcceleratorState.BROKEN:
+            # Concurrent failure detectors (heartbeat eviction racing an
+            # explicit ARM_BREAK or an unhealthy discovery report) must
+            # converge on one transition: a second mark would revoke
+            # leases twice and double-log the pool event.
+            return
         if r.state == AcceleratorState.ASSIGNED:
             self._finish_assignment(r)
         r.state = AcceleratorState.BROKEN
@@ -335,6 +358,7 @@ class ResourceManager:
         for lease in list(self.admission.leases.values()):
             if lease.ac_id == r.ac_id:
                 self._revoke_lease(lease.vac_id, notify=False)
+        self._log_pool("break", r.ac_id)
         self._fail_unsatisfiable()
 
     def _fail_unsatisfiable(self) -> None:
@@ -362,6 +386,128 @@ class ResourceManager:
                 self._reply(req, Response(
                     req.req_id, Status.UNAVAILABLE,
                     error="no healthy accelerators remain"))
+
+    # -- resource discovery (dynamic pool membership) ---------------------
+    def _log_pool(self, kind: str, ac_id: int) -> None:
+        self.pool_events.append((self.engine.now, kind, ac_id))
+
+    def _pool_grew(self) -> None:
+        """Wake queued waiters after pool growth — exactly once each.
+
+        Both drains reply-and-pop atomically inside the calling handler
+        (no yields between the capacity change and the drain), so a waiter
+        the new capacity satisfies is answered exactly once, and waiters
+        that still do not fit stay queued untouched.
+        """
+        self._drain_queue()
+        self._drain_vqueue()
+
+    def _report(self, req: Request) -> None:
+        """A daemon's periodic capability/health report (one-way).
+
+        Unknown healthy reporters join the pool as FREE; a BROKEN record
+        reporting healthy again rejoins; an unhealthy report is a failure
+        detection.  Re-reports of known healthy devices only refresh the
+        TTL clock — no queue drains, no state clobbering.
+        """
+        p = req.params
+        ac_id = p["ac_id"]
+        r = self.records.get(ac_id)
+        healthy = p.get("healthy", True)
+        if r is None:
+            if not healthy:
+                return  # never admit a device reporting itself unhealthy
+            self.records[ac_id] = AcceleratorRecord(
+                ac_id=ac_id, daemon_rank=p["daemon_rank"])
+            self._last_seen[ac_id] = self.engine.now
+            self.joins += 1
+            self._log_pool("join", ac_id)
+            self._pool_grew()
+            return
+        self._last_seen[ac_id] = self.engine.now
+        if not healthy:
+            self._mark_broken(r)
+            return
+        if r.state == AcceleratorState.BROKEN:
+            r.state = AcceleratorState.FREE
+            r.daemon_rank = p.get("daemon_rank", r.daemon_rank)
+            self.joins += 1
+            self._log_pool("rejoin", ac_id)
+            self._pool_grew()
+
+    def _leave(self, req: Request) -> None:
+        """A daemon's graceful departure notice (one-way)."""
+        r = self.records.get(req.params["ac_id"])
+        if r is None:
+            return  # already evicted or never joined: idempotent
+        reason = req.params.get("reason")
+        self._remove_record(r, f"leave:{reason}" if reason else "leave",
+                            notify=True)
+
+    def _remove_record(self, r: AcceleratorRecord, kind: str,
+                       notify: bool) -> None:
+        """Take a device out of the pool entirely (leave or TTL eviction).
+
+        Unlike BROKEN (device present but failed), removal forgets the
+        record: a later discovery report from the same ``ac_id`` is a
+        fresh join.  Hosted leases are revoked (``notify`` as in
+        :meth:`_revoke_lease`) and waiters the shrunken pool can never
+        satisfy are answered.
+        """
+        if r.state == AcceleratorState.ASSIGNED:
+            self._finish_assignment(r)
+        for lease in list(self.admission.leases.values()):
+            if lease.ac_id == r.ac_id:
+                self._revoke_lease(lease.vac_id, notify=notify)
+        del self.records[r.ac_id]
+        self._last_seen.pop(r.ac_id, None)
+        self.leaves += 1
+        self._log_pool(kind, r.ac_id)
+        self._fail_unsatisfiable()
+
+    def enable_discovery(self, ttl_s: float,
+                         sweep_period_s: float | None = None,
+                         rounds: int | None = None):
+        """Start the TTL sweeper that ages out silent discovered devices.
+
+        A discovered device whose last report is older than ``ttl_s`` is
+        removed from the pool (crash, partition, or a straggler too slow
+        to publish on time — gray failures look identical from here).
+        Statically rostered devices have no ``_last_seen`` entry and are
+        never swept.  ``rounds`` bounds the sweeper's lifetime (``None``
+        keeps the event queue non-empty forever; bound the run).
+        """
+        self.discovery_ttl_s = ttl_s
+        if sweep_period_s is None:
+            sweep_period_s = ttl_s / 2.0
+        if self._sweep_proc is not None and self._sweep_proc.is_alive:
+            return self._sweep_proc
+        self._sweep_stop = False
+        self._sweep_proc = self.engine.process(
+            self._sweep(ttl_s, sweep_period_s, rounds), name="arm-sweep")
+        return self._sweep_proc
+
+    def stop_discovery(self) -> None:
+        """Ask the TTL sweeper to exit after its current round."""
+        self._sweep_stop = True
+
+    def _sweep(self, ttl_s: float, period_s: float, rounds: int | None):
+        done = 0
+        while not (self._stopped or self._sweep_stop):
+            if rounds is not None and done >= rounds:
+                break
+            yield self.engine.timeout(period_s)
+            done += 1
+            cutoff = self.engine.now - ttl_s
+            for ac_id, seen in sorted(self._last_seen.items()):
+                if seen >= cutoff:
+                    continue
+                r = self.records.get(ac_id)
+                if r is None:  # pragma: no cover - defensive
+                    self._last_seen.pop(ac_id, None)
+                    continue
+                self.ttl_evictions += 1
+                self._remove_record(r, "evict", notify=False)
 
     # -- multi-tenant leases ----------------------------------------------
     def _tenant(self, req: Request) -> None:
@@ -576,9 +722,9 @@ class ResourceManager:
                                       error=f"ac{ac_id} is not broken"))
             return
         r.state = AcceleratorState.FREE
+        self._log_pool("repair", r.ac_id)
         self._reply(req, Response(req.req_id, Status.OK))
-        self._drain_queue()
-        self._drain_vqueue()
+        self._pool_grew()
 
 
 class ArmClient:

@@ -86,6 +86,15 @@ DEDUP_CACHE_SIZE = 512
 _VAC_LIFECYCLE = frozenset({Op.VAC_ATTACH, Op.VAC_DETACH, Op.VAC_REVOKE})
 
 
+class _Tombstone:
+    """Marker for a lease revoked before its first attach arrived."""
+
+    revoked = True
+
+    def revoke(self) -> int:
+        return 0
+
+
 class Daemon:
     """Back-end daemon bound to one accelerator node."""
 
@@ -101,6 +110,19 @@ class Daemon:
         #: Set by fault injection: the daemon host itself is gone — requests
         #: are silently dropped, which is what makes client deadlines fire.
         self.crashed = False
+        #: Software version advertised in discovery reports; a rolling
+        #: upgrade bumps it through :meth:`restart`.
+        self.version = "v1"
+        #: Straggler dial: multiplies every software cost (request
+        #: handling, mallocs) — 1.0 is nominal.  A severe straggler also
+        #: publishes its discovery reports late and ages out of the pool.
+        self.slow_factor = 1.0
+        self.restarts = 0
+        #: Per-block receive deadline for accepted transfers, or None for
+        #: unbounded (the historical behavior).  Under a partition the
+        #: blocks of an accepted H2D may never arrive; without a deadline
+        #: the single-threaded serve loop would wedge forever.
+        self.data_stall_s: float | None = None
         #: Responses of completed non-idempotent requests, for replaying to
         #: duplicate (retried) requests instead of re-executing them.
         self._dedup: collections.OrderedDict[int, Response] = collections.OrderedDict()
@@ -132,7 +154,8 @@ class Daemon:
             if req.op in (Op.MEMCPY_H2D, Op.MEMCPY_D2H, Op.PEER_PUT):
                 self.stats.transfer_requests += 1
             # Software cost of receiving + dispatching one request.
-            yield self.engine.timeout(self.cpu.request_handling_s)
+            yield self.engine.timeout(
+                self.cpu.request_handling_s * self.slow_factor)
             if req.op == Op.SHUTDOWN:
                 self._reply(req, Response(req.req_id, Status.OK))
                 self._stopped = True
@@ -228,11 +251,66 @@ class Daemon:
                 self._dedup.popitem(last=False)
         self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
 
+    def restart(self, version: str | None = None) -> None:
+        """Bounce the daemon in place (one rolling-upgrade step).
+
+        Device slices do not survive a restart: every live slice is
+        revoked (its tenant discovers PREEMPTED and re-leases) and the
+        lease / dedup tables reset.  Fault flags clear, the straggler
+        dial returns to nominal, and the advertised version bumps.
+        """
+        for vgpu in self._vacs.values():
+            if not vgpu.revoked:
+                vgpu.revoke()
+        self._vacs.clear()
+        self._dedup.clear()
+        self.broken = False
+        self.crashed = False
+        self.slow_factor = 1.0
+        self.restarts += 1
+        if version is not None:
+            self.version = version
+
+    def _recv_block(self, src: int, dtag: int):
+        """One data-block receive, bounded by ``data_stall_s`` when set.
+
+        Returns the message, or None when the stall deadline fired first
+        (the pending receive is cancelled, not leaked).
+        """
+        if self.data_stall_s is None:
+            msg = yield from self.rank.recv(source=src, tag=dtag)
+            return msg
+        rreq = self.rank.irecv(source=src, tag=dtag)
+        cond, dl = self.engine.race(rreq.done,
+                                    self.data_stall_s * self.slow_factor)
+        yield cond
+        if rreq.completed:
+            if not dl.processed:
+                dl.cancel()
+            return rreq.message
+        self.rank.cancel_recv(rreq)
+        return None
+
+    def _abandon_stream(self, req: Request, src: int, remaining: int) -> None:
+        """Give up on a stalled data stream without wedging the tag space.
+
+        Blocks still in flight (delayed, not dropped) would otherwise sit
+        in the unexpected queue and be mis-matched by a later transfer
+        reusing the data tag; pre-discarding them keeps arrival one-shot.
+        """
+        if remaining > 0:
+            self.rank.discard_next(src, req.params["data_tag"],
+                                   count=remaining)
+
     def _drain_data(self, req: Request, src: int):
         """Consume data blocks of a request that was rejected up-front."""
         if req.op == Op.MEMCPY_H2D:
-            for _ in req.params["blocks"]:
-                yield from self.rank.recv(source=src, tag=req.params["data_tag"])
+            blocks = req.params["blocks"]
+            for i in range(len(blocks)):
+                msg = yield from self._recv_block(src, req.params["data_tag"])
+                if msg is None:
+                    self._abandon_stream(req, src, len(blocks) - i)
+                    return
 
     # -- virtual accelerators -------------------------------------------
     def _target(self, params: dict):
@@ -259,9 +337,19 @@ class Daemon:
         """Instantiate a lease granted by the ARM as a device slice."""
         p = req.params
         vac_id = p["vac_id"]
-        yield self.engine.timeout(self.cpu.malloc_s)
+        yield self.engine.timeout(self.cpu.malloc_s * self.slow_factor)
         existing = self._vacs.get(vac_id)
-        if existing is not None and not existing.revoked:
+        if existing is not None:
+            if existing.revoked:
+                # The ARM's VAC_REVOKE landed before (or between retries
+                # of) this attach.  Re-creating the slice would resurrect
+                # a lease the ARM already ended and possibly reassigned;
+                # PREEMPTED routes the tenant to a fresh valloc instead.
+                self.stats.preempted_requests += 1
+                self._reply(req, Response(
+                    req.req_id, Status.PREEMPTED,
+                    error=f"virtual accelerator {vac_id} was revoked"))
+                return
             # Already attached (idempotent re-attach outside the dedup
             # window); keep the live slice and its allocations.
             self._reply(req, Response(req.req_id, Status.OK))
@@ -274,7 +362,7 @@ class Daemon:
 
     def _vac_detach(self, req: Request, src: int):
         """Tear a slice down and free everything it still holds."""
-        yield self.engine.timeout(self.cpu.malloc_s)
+        yield self.engine.timeout(self.cpu.malloc_s * self.slow_factor)
         vgpu = self._vacs.pop(req.params["vac_id"], None)
         freed = vgpu.revoke() if vgpu is not None else 0
         self._reply(req, Response(req.req_id, Status.OK, value=freed))
@@ -288,7 +376,13 @@ class Daemon:
         """
         vgpu = self._vacs.get(req.params["vac_id"])
         freed = 0
-        if vgpu is not None and not vgpu.revoked:
+        if vgpu is None:
+            # The revoke raced ahead of the lease's first attach: leave a
+            # tombstone so the late attach answers PREEMPTED instead of
+            # silently resurrecting a lease the ARM already ended.
+            self._vacs[req.params["vac_id"]] = _Tombstone()
+            self.stats.vac_revocations += 1
+        elif not vgpu.revoked:
             freed = vgpu.revoke()
             self.stats.vac_revocations += 1
         if not req.params.get("oneway"):
@@ -306,7 +400,7 @@ class Daemon:
         self._reply(req, resp)
 
     def _exec_mem_alloc(self, req_id: int, params: dict):
-        yield self.engine.timeout(self.cpu.malloc_s)
+        yield self.engine.timeout(self.cpu.malloc_s * self.slow_factor)
         try:
             # Lease-scoped allocations go through the slice's partition:
             # quota enforcement plus ownership tracking for isolation.
@@ -320,7 +414,7 @@ class Daemon:
         self._reply(req, resp)
 
     def _exec_mem_free(self, req_id: int, params: dict):
-        yield self.engine.timeout(self.cpu.malloc_s)
+        yield self.engine.timeout(self.cpu.malloc_s * self.slow_factor)
         try:
             self._target(params).memory.free(params["addr"])
         except DeviceMemoryError as exc:
@@ -351,7 +445,8 @@ class Daemon:
                 # Dispatching each additional sub-op costs daemon CPU just
                 # like a separate request would — only the network round
                 # trips are saved.
-                yield self.engine.timeout(self.cpu.request_handling_s)
+                yield self.engine.timeout(
+                    self.cpu.request_handling_s * self.slow_factor)
             if failed is not None:
                 sub.append(Response(req.req_id, Status.ERROR,
                                     error=f"skipped: {failed}"))
@@ -403,13 +498,23 @@ class Daemon:
         first = True
         for i, (off, size) in enumerate(blocks):
             recv_span = self._cur_span.child("net.recv", block=i, nbytes=size)
-            msg = yield from self.rank.recv(source=src, tag=dtag)
+            msg = yield from self._recv_block(src, dtag)
             recv_span.finish()
+            if msg is None:
+                # The stream stalled (partition / dropped blocks).  Blocks
+                # already DMA'd stay written; the client learns via ERROR.
+                self._abandon_stream(req, src, len(blocks) - i)
+                self._reply(req, Response(
+                    req.req_id, Status.ERROR,
+                    error=f"data stream for request {req.req_id} stalled "
+                          f"at block {i}/{len(blocks)}"))
+                return
             if not first:
                 # Per-block software cost: posting the next receive and the
                 # DMA descriptor (the first block's cost was the request
                 # handling itself).
-                yield self.engine.timeout(self.cpu.request_handling_s)
+                yield self.engine.timeout(
+                    self.cpu.request_handling_s * self.slow_factor)
             first = False
             if not gpudirect:
                 # Without GPUDirect the block must be staged from the MPI

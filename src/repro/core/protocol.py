@@ -88,6 +88,9 @@ class Op(enum.Enum):
     VAC_ATTACH = "vac_attach"       # instantiate the lease on the device
     VAC_DETACH = "vac_detach"       # tear the slice down, free its memory
     VAC_REVOKE = "vac_revoke"       # ARM-initiated preemption notice
+    # Resource discovery (daemon -> ARM, one-way):
+    ARM_REPORT = "arm_report"       # periodic capability/health report
+    ARM_LEAVE = "arm_leave"         # graceful departure from the pool
 
 
 #: Ops whose handler is safe to re-execute on a duplicate request: probes,
@@ -101,6 +104,8 @@ IDEMPOTENT_OPS = frozenset({
     Op.ARM_REPAIR,
     Op.ARM_TENANT,      # re-registering a tenant spec overwrites in place
     Op.VAC_REVOKE,      # revoking an already-revoked slice is a no-op
+    Op.ARM_REPORT,      # reports carry full state; replays refresh in place
+    Op.ARM_LEAVE,       # leaving an already-left pool is a no-op
 })
 
 #: Ops the client may automatically resend (same request id) after a

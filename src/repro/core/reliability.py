@@ -589,6 +589,13 @@ def tenant_accelerator(arm: "ArmClient",
     """
     grant = yield from arm.valloc(tenant, wait=wait, job=job)
     ac = TenantAccelerator(arm, make_remote, grant, config=config)
-    yield from ac.current.vac_attach(share=grant["share"],
-                                     mem_quota=grant["mem_quota"])
+    # Guarded: a VAC_REVOKE can race ahead of this very first attach (the
+    # ARM preempts or loses the device before the daemon ever saw the
+    # lease).  The daemon answers PREEMPTED and the guard reacquires a
+    # fresh lease instead of surfacing a fault for a session that never
+    # started.  After a recovery the replacement slice is already
+    # attached, so re-running the attempt is an idempotent re-attach.
+    yield from ac.run_guarded(
+        lambda: ac.current.vac_attach(share=ac._grant["share"],
+                                      mem_quota=ac._grant["mem_quota"]))
     return ac

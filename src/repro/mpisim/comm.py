@@ -203,34 +203,51 @@ class Communicator:
         snapshot = copy_for_send(payload)
         req = Request(self.engine, "send")
         env = Envelope(src, tag, nbytes)
-        pair = (src, dst)
-        seq = self._send_seq.get(pair, 0)
-        self._send_seq[pair] = seq + 1
         if eager is None:
             threshold = self.fabric.model.rendezvous_threshold
             eager = threshold == 0 or nbytes <= threshold
         if eager:
-            self._eager_send(env, dst, snapshot, req, seq, injection_s)
+            self._eager_send(env, dst, snapshot, req, injection_s)
         else:
-            self._rendezvous_rts(env, dst, snapshot, req, seq)
+            self._rendezvous_rts(env, dst, snapshot, req)
         return req
 
+    def _next_seq(self, pair: tuple[int, int]) -> int:
+        seq = self._send_seq.get(pair, 0)
+        self._send_seq[pair] = seq + 1
+        return seq
+
     def _eager_send(self, env: Envelope, dst: int, payload: _t.Any,
-                    req: Request, seq: int,
+                    req: Request,
                     injection_s: float | None = None) -> None:
         tx = self.fabric.transfer(self._endpoints[env.source], self._endpoints[dst],
                                   env.nbytes + HEADER_BYTES,
                                   injection_s=injection_s)
-        # Eager sends complete locally as soon as the NIC has the message.
+        # Eager sends complete locally as soon as the NIC has the message —
+        # even across a partition (the sender cannot tell its bytes died).
         tx.injected.add_callback(lambda _ev: req._complete(None))
+        if tx.dropped:
+            # A dropped message must NOT consume a (src, dst) sequence
+            # number: in-order matching would wait for that seq forever
+            # and hold back every later message on the pair.  The fabric
+            # decides drops synchronously, so the seq is drawn only here.
+            return
+        seq = self._next_seq((env.source, dst))
         tx.delivered.add_callback(
             lambda _ev: self._deliver_in_order(dst, _Arrival(env, payload=payload), seq))
 
     def _rendezvous_rts(self, env: Envelope, dst: int, payload: _t.Any,
-                        req: Request, seq: int) -> None:
+                        req: Request) -> None:
         rts = _Rts(env.source, payload, env.nbytes, req)
         ctrl = self.fabric.transfer(self._endpoints[env.source], self._endpoints[dst],
                                     CONTROL_BYTES)
+        if ctrl.dropped:
+            # The RTS died at a partition: the send stays pending forever,
+            # exactly like a real rendezvous sender blocked on a handshake
+            # that will never come.  Callers racing a deadline (the RPC
+            # layer) escape; bare blocking sends are the caller's risk.
+            return
+        seq = self._next_seq((env.source, dst))
         ctrl.delivered.add_callback(
             lambda _ev: self._deliver_in_order(dst, _Arrival(env, rts=rts), seq))
 
@@ -316,6 +333,34 @@ class Communicator:
                 state.discards.append((src, tag))
                 return True
         return False
+
+    def discard_next(self, me: int, source: int, tag: int,
+                     count: int = 1) -> None:
+        """Drop the next ``count`` arrivals matching ``(source, tag)``.
+
+        For abandoning an in-progress multi-block data stream: blocks
+        still in flight (delayed rather than dropped) would otherwise rot
+        in the unexpected queue and be mis-matched by a later transfer
+        that reuses the tag.  Matching messages already buffered as
+        unexpected are removed immediately; the remainder become one-shot
+        pending discards consumed on arrival.  Discards for blocks that
+        died at a partition simply never fire (tags are per-request, so a
+        stale pattern has nothing left to match).
+        """
+        self._check_rank(me)
+        state = self._states[me]
+        remaining = count
+        while remaining > 0:
+            arrival = state.unexpected.pop_match_for_recv(source, tag)
+            if arrival is None:
+                break
+            if arrival.rts is not None:
+                # Receiver-side truncation: complete the sender without
+                # moving the payload (same as a cancelled recv's discard).
+                arrival.rts.send_request._complete(None)
+            remaining -= 1
+        for _ in range(remaining):
+            state.discards.append((source, tag))
 
     # -- probing --------------------------------------------------------
     def iprobe(self, me: int, source: int = ANY_SOURCE,
@@ -419,6 +464,10 @@ class RankHandle:
     def cancel_recv(self, request: Request) -> bool:
         """Cancel a pending posted receive (see :meth:`Communicator.cancel_recv`)."""
         return self.comm.cancel_recv(self.index, request)
+
+    def discard_next(self, source: int, tag: int, count: int = 1) -> None:
+        """Drop upcoming arrivals (see :meth:`Communicator.discard_next`)."""
+        self.comm.discard_next(self.index, source, tag, count)
 
     def send(self, dst: int, tag: int, payload: _t.Any = None):
         """Blocking send (generator)."""

@@ -31,7 +31,8 @@ class Transmission:
     arrived at the destination.
     """
 
-    __slots__ = ("src", "dst", "nbytes", "injected", "delivered", "injection_s")
+    __slots__ = ("src", "dst", "nbytes", "injected", "delivered",
+                 "injection_s", "dropped")
 
     def __init__(self, src: "Endpoint", dst: "Endpoint", nbytes: int,
                  injected: Event, delivered: Event,
@@ -43,6 +44,9 @@ class Transmission:
         self.delivered = delivered
         #: Per-message posting cost override (None -> the link model's).
         self.injection_s = injection_s
+        #: Set synchronously by :meth:`Fabric.transfer` when the link is
+        #: cut: sender-side costs are paid, ``delivered`` never fires.
+        self.dropped = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Transmission {self.src.name}->{self.dst.name} {self.nbytes}B>"
@@ -86,6 +90,12 @@ class Fabric:
         #: Running totals for utilization analysis.
         self.bytes_moved = 0
         self.messages_sent = 0
+        #: Partitioned directed links: messages on them vanish in flight.
+        self._cuts: set[tuple[str, str]] = set()
+        #: Extra propagation latency per directed link (slow-link fault).
+        self._slow: dict[tuple[str, str], float] = {}
+        self.messages_dropped = 0
+        self.bytes_dropped = 0
 
     def set_core_capacity(self, capacity_Bps: float | None) -> None:
         """Limit the switch core to ``capacity_Bps`` (None = non-blocking)."""
@@ -108,6 +118,60 @@ class Fabric:
             return self.endpoints[name]
         except KeyError:
             raise NetworkError(f"unknown endpoint {name!r}") from None
+
+    # -- impairments (chaos injection) ----------------------------------
+    def cut(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Partition the ``a``/``b`` link: messages on it vanish in flight.
+
+        The sender still pays its NIC/injection costs (it cannot tell),
+        but nothing arrives and no delivery event ever fires — exactly
+        the silence a real partition produces.  Loopback (``a == b``)
+        traffic is never cut.
+        """
+        if a not in self.endpoints or b not in self.endpoints:
+            raise NetworkError(f"unknown endpoint in cut: {a!r}/{b!r}")
+        self._cuts.add((a, b))
+        if bidirectional:
+            self._cuts.add((b, a))
+
+    def heal(self, a: str | None = None, b: str | None = None,
+             bidirectional: bool = True) -> None:
+        """Undo :meth:`cut` for one link, or every link when ``a`` is None.
+
+        Only affects messages sent after the heal; in-flight drops stay
+        dropped (the wire does not retroactively deliver).
+        """
+        if a is None:
+            self._cuts.clear()
+            return
+        self._cuts.discard((a, b))
+        if bidirectional:
+            self._cuts.discard((b, a))
+
+    def is_cut(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._cuts
+
+    def set_link_delay(self, a: str, b: str, extra_s: float,
+                       bidirectional: bool = True) -> None:
+        """Add ``extra_s`` propagation latency to the ``a``→``b`` link.
+
+        ``extra_s`` of 0 restores the nominal latency.  Ordering per
+        (src, dst) pair is preserved: the extra delay is a constant, so
+        messages delay-shift uniformly instead of overtaking.
+        """
+        if extra_s < 0:
+            raise NetworkError(f"negative link delay: {extra_s!r}")
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for pair in pairs:
+            if extra_s == 0:
+                self._slow.pop(pair, None)
+            else:
+                self._slow[pair] = extra_s
+
+    def _extra_latency(self, tx: Transmission) -> float:
+        if not self._slow or tx.src is tx.dst:
+            return 0.0
+        return self._slow.get((tx.src.name, tx.dst.name), 0.0)
 
     def transfer(self, src: Endpoint | str, dst: Endpoint | str, nbytes: int,
                  weight: float = 1.0,
@@ -137,6 +201,12 @@ class Fabric:
         injected = self.engine.event()
         delivered = self.engine.event()
         tx = Transmission(src, dst, nbytes, injected, delivered, injection_s)
+        if self._cuts and src is not dst and (src.name, dst.name) in self._cuts:
+            # Decided synchronously so the messaging layer above can see
+            # the drop before registering delivery-ordering callbacks.
+            tx.dropped = True
+            self.messages_dropped += 1
+            self.bytes_dropped += nbytes
         if self._obs.enabled or self.tracer.enabled:
             # Static process name: one flow process per pipeline block
             # makes per-flow f-string formatting measurable on large
@@ -176,10 +246,16 @@ class Fabric:
             delay = (model.latency_s
                      if tx.src is not tx.dst and model.latency_s > 0
                      else 0.0)
+            delay += self._extra_latency(tx)
             heapq.heappush(engine._heap,
                            (engine.now + delay, next(engine._seq), delivered))
 
         def _injected_first(_ev):
+            if tx.dropped:
+                # The message entered the wire and vanished at the cut:
+                # the NIC frees, the receiver never hears anything.
+                tx.src.nic.release()
+                return
             if tx.nbytes > 0:
                 rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
                 if self._core is not None and tx.src is not tx.dst:
@@ -229,6 +305,11 @@ class Fabric:
             tx.injected.succeed(None)
             if span is not NULL_SPAN:
                 span.event("injected")
+            if tx.dropped:
+                # Vanishes at the cut: NIC frees, nothing arrives, and
+                # the delivered event never fires (mirrors _fast_flow).
+                tx.src.nic.release()
+                return
             # 2. Wire transmission through the receiver's share: concurrent
             #    senders into one endpoint split its bandwidth fairly, and
             #    the resulting backpressure keeps this NIC busy longer.
@@ -243,8 +324,10 @@ class Fabric:
                     yield rx_done
             tx.src.nic.release()
             # 3. Propagation latency (not a NIC resource).
-            if tx.src is not tx.dst and model.latency_s > 0:
-                yield Timeout(engine, model.latency_s)
+            prop = (model.latency_s if tx.src is not tx.dst else 0.0)
+            prop += self._extra_latency(tx)
+            if prop > 0:
+                yield Timeout(engine, prop)
             self.bytes_moved += tx.nbytes
             self.messages_sent += 1
             tracer = self.tracer

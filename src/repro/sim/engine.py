@@ -255,6 +255,18 @@ class Engine:
         """A deadline timer firing ``seconds`` from now."""
         return Deadline(self, seconds)
 
+    def call_at(self, when: float, fn: _t.Callable[[], None]) -> Timeout:
+        """Run ``fn()`` at absolute virtual time ``when``.
+
+        Fault/chaos injections are pure state flips at known instants;
+        scheduling them as timer callbacks avoids one generator frame per
+        injection.  A ``when`` at or before ``now`` runs at the current
+        instant.  Returns the timer (``cancel()`` to unschedule).
+        """
+        t = Timeout(self, max(0.0, when - self.now))
+        t.add_callback(lambda _ev: fn())
+        return t
+
     def race(self, event: Event, seconds: float) -> tuple[AnyOf, Deadline]:
         """Race ``event`` against a fresh deadline of ``seconds``.
 

@@ -111,12 +111,18 @@ class TenantWorkloadReport:
         return ranked[:n]
 
 
-def _draw_spec(rng: random.Random, tenant_id: str,
-               cfg: TenantWorkloadConfig) -> TenantSpec:
+def draw_spec(rng: random.Random, tenant_id: str,
+              classes: tuple[tuple[str, int, float, float], ...] = DEFAULT_CLASSES,
+              ) -> TenantSpec:
+    """Draw one tenant's scheduling class from a seeded RNG.
+
+    Shared by the tenant workload and the chaos scenario runner so both
+    populations are drawn identically for a given seed.
+    """
     roll = rng.random()
     acc = 0.0
-    name, priority, weight = cfg.classes[-1][:3]
-    for cname, cprio, cweight, frac in cfg.classes:
+    name, priority, weight = classes[-1][:3]
+    for cname, cprio, cweight, frac in classes:
         acc += frac
         if roll < acc:
             name, priority, weight = cname, cprio, cweight
@@ -185,7 +191,7 @@ def run(cfg: TenantWorkloadConfig | None = None) -> TenantWorkloadReport:
     # Register the population directly with the admission controller (an
     # in-process policy object) rather than via n_tenants RPC round trips.
     tenants = [f"t{i:04d}" for i in range(cfg.n_tenants)]
-    specs = {t: _draw_spec(rng, t, cfg) for t in tenants}
+    specs = {t: draw_spec(rng, t, cfg.classes) for t in tenants}
     for spec in specs.values():
         cluster.arm.admission.register(spec)
 

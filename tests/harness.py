@@ -501,3 +501,135 @@ def run_memcpy_traced(seed: int, n_ops: int = 24, zero_copy: bool = True):
             cluster, sess, ac = make_remote_rig()
             outcome = sess.call(run_memcpy(cluster.engine, ac, program))
     return outcome, span_timeline(session)
+
+
+# ---------------------------------------------------------------------------
+# Chaos op programs: seeded injection sequences over the discovered pool.
+#
+# The chaos analog of generate_program(): a random but well-formed sequence
+# of membership/fault injections (joins, leaves, flaps, stragglers,
+# partitions, slow links, upgrades), pure in the seed, composed into an
+# ad-hoc Scenario and run under offered tenant load.  The determinism
+# oracle: the same seed replayed twice must produce a bit-identical trace
+# digest, membership log, and per-session payload digests — real payloads
+# survive failover replay byte-for-byte no matter what the program did to
+# the pool underneath.
+# ---------------------------------------------------------------------------
+
+#: Small-but-churny run shape for harness/CI chaos replays.
+CHAOS_QUICK = dict(n_tenants=16, requests_per_tenant=2, window_s=8e-3,
+                   real_payload_every=2)
+
+
+def generate_chaos_program(seed: int, n_injections: int = 6,
+                           n_accelerators: int = 6, initial: int = 4,
+                           window_s: float = 8e-3):
+    """A random, well-formed chaos injection program (pure in ``seed``).
+
+    Injections land at increasing times inside the arrival window and
+    respect membership: joins target dormant nodes, everything else
+    targets active ones (leaves and upgrades track the active set, so a
+    later join can resurrect a leaver).
+    """
+    import random as _random
+
+    from repro.chaos import Injection
+
+    rng = _random.Random(seed)
+    active = set(range(initial))
+    dormant = set(range(initial, n_accelerators))
+    program: list = []
+    times = sorted(rng.uniform(0.1 * window_s, 0.8 * window_s)
+                   for _ in range(n_injections))
+    for at in times:
+        kinds = ["slow", "flap", "partition", "slow-link", "upgrade"]
+        if dormant:
+            kinds.append("join")
+        if len(active) > 1:
+            kinds.append("leave")
+        kind = rng.choice(kinds)
+        span = rng.uniform(0.1 * window_s, 0.3 * window_s)
+        if kind == "join":
+            ac = rng.choice(sorted(dormant))
+            dormant.discard(ac)
+            active.add(ac)
+            program.append(Injection("join", at, ac_id=ac))
+        elif kind == "leave":
+            ac = rng.choice(sorted(active))
+            active.discard(ac)
+            dormant.add(ac)
+            program.append(Injection(
+                "leave", at, ac_id=ac,
+                reason=rng.choice(["departed", None])))
+        elif kind == "flap":
+            ac = rng.choice(sorted(active))
+            program.append(Injection("flap", at, ac_id=ac,
+                                     until_s=at + span,
+                                     half_period_s=span / 3.0))
+        elif kind == "slow":
+            ac = rng.choice(sorted(active))
+            program.append(Injection("slow", at, ac_id=ac,
+                                     factor=rng.uniform(5.0, 25.0),
+                                     until_s=at + span))
+        elif kind == "partition":
+            ac = rng.choice(sorted(active))
+            program.append(Injection("partition", at, ac_id=ac,
+                                     until_s=at + span))
+        elif kind == "slow-link":
+            ac = rng.choice(sorted(active))
+            program.append(Injection("slow-link", at, ac_id=ac,
+                                     extra_s=rng.uniform(1e-4, 4e-4),
+                                     until_s=at + span))
+        else:  # upgrade
+            ac = rng.choice(sorted(active))
+            program.append(Injection("upgrade", at, ac_id=ac,
+                                     version=f"v{rng.randint(2, 9)}"))
+    return program
+
+
+def chaos_scenario_from_program(seed: int, **kwargs):
+    """Wrap a generated injection program as an ad-hoc Scenario."""
+    from repro.chaos import Scenario
+
+    program = generate_chaos_program(seed, **kwargs)
+    return Scenario(
+        name=f"generated-{seed}",
+        description=f"seeded chaos op program (seed {seed})",
+        recovery_path="whatever the generated injections require",
+        injections=lambda cfg: program)
+
+
+def run_chaos_scenario(scenario, seed: int = 0, **overrides):
+    """One harness-shaped chaos run (small population, real payloads)."""
+    from repro.chaos import ChaosConfig, run as _run_chaos
+
+    cfg = ChaosConfig(seed=seed, **{**CHAOS_QUICK, **overrides})
+    return _run_chaos(scenario, cfg)
+
+
+def assert_chaos_replay_identical(scenario, seed: int = 0, **overrides):
+    """The chaos determinism oracle: same seed, bit-identical everything.
+
+    Runs the scenario twice and asserts the trace digests, the ARM's
+    membership logs, and every verified session's returned payload bytes
+    (their sha256 digests) match exactly.  Returns the first report for
+    further scenario-specific assertions.
+    """
+    first = run_chaos_scenario(scenario, seed, **overrides)
+    second = run_chaos_scenario(scenario, seed, **overrides)
+    assert first.digest == second.digest, (
+        f"{first.scenario}: same seed produced different trace digests")
+    assert first.pool_events == second.pool_events, (
+        f"{first.scenario}: membership logs diverged between replays")
+    assert first.buffer_digests == second.buffer_digests, (
+        f"{first.scenario}: downloaded payload bytes diverged — replay "
+        f"is not bit-identical")
+    assert first.corrupted == 0, (
+        f"{first.scenario}: {first.corrupted} verified payload(s) came "
+        f"back corrupted")
+    counts = ("submitted", "completed", "rejected", "aborted", "failed",
+              "stuck", "recoveries", "slo_violations")
+    for field in counts:
+        assert getattr(first, field) == getattr(second, field), (
+            f"{first.scenario}: {field} diverged between replays")
+    return first
