@@ -12,6 +12,10 @@ Usage::
     python -m repro chaos <scenario|all|list> [--quick] [--seed S]
                           [--json out.json] [--check-determinism]
                           [--check EXPECTATIONS.json]
+    python -m repro collective [--devices N] [--elements E] [--op OP]
+                               [--topology T] [--dims A B [C]] [--seed S]
+                               [--quick] [--json out.json]
+                               [--check-determinism]
     python -m repro perf [--quick] [--json BENCH.json] [--against OLD.json]
                          [--check BASELINE.json]
 
@@ -28,6 +32,14 @@ each scenario twice and asserts bit-identical trace digests;
 ``--check`` gates the scores against checked-in expectation bounds
 (``benchmarks/chaos_expectations.json``; generated with ``--quick``,
 seed 0) — the CI chaos-smoke job runs exactly that.
+
+``collective`` runs one seeded ring collective (allreduce or broadcast)
+twice — over the P2P device-direct data plane and over the historical
+staged path through the compute node — on a multi-switch topology, and
+prints per-mode virtual wall-clock, compute-node endpoint bytes, trunk
+bytes, and the bit-identity verdict.  ``--check-determinism`` reruns the
+comparison and asserts the same digest — the CI p2p-smoke job runs
+exactly that and gates on the ≥2× compute-node byte reduction.
 
 ``perf`` measures *host* wall-clock performance of the simulator itself
 (see :mod:`repro.perf`): ``--json`` writes a ``BENCH_*.json`` document,
@@ -237,6 +249,38 @@ def run_chaos(args: argparse.Namespace,
     return 0
 
 
+def run_collective(args: argparse.Namespace,
+                   out: _t.TextIO | None = None) -> int:
+    """The ``collective`` subcommand: P2P vs staged ring collectives."""
+    from ..workloads import collective as _coll
+    out = out if out is not None else sys.stdout
+    dims = tuple(args.dims) if args.dims else (2, 2)
+    if args.quick:
+        cfg = _coll.CollectiveConfig(
+            devices=min(args.devices, 8), chunk_elements=2048, op=args.op,
+            topology="torus2d", dims=(2, 2), seed=args.seed)
+    else:
+        cfg = _coll.CollectiveConfig(
+            devices=args.devices, chunk_elements=args.elements, op=args.op,
+            topology=args.topology, dims=dims, seed=args.seed)
+    report = _coll.run(cfg)
+    out.write(_coll.format_report(report) + "\n")
+    if args.check_determinism:
+        again = _coll.run(cfg)
+        if again.digest != report.digest:
+            raise SystemExit("collective: same seed produced a different "
+                             "digest — run is not deterministic")
+        out.write("determinism check passed: same seed, same digest\n")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report.to_doc(), fh, indent=1)
+        out.write(f"report written to {args.json_path}\n")
+    if not report.identical:
+        raise SystemExit("collective: P2P and staged transports produced "
+                         "different device contents")
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -303,6 +347,28 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     chaosp.add_argument("--check", dest="check_path", default=None,
                         help="expectation-bounds JSON to gate scores "
                              "against (CI smoke)")
+    collp = sub.add_parser(
+        "collective", help="ring collective: P2P vs staged transport")
+    collp.add_argument("--devices", type=int, default=8,
+                       help="devices in the ring (default 8)")
+    collp.add_argument("--elements", type=int, default=65536,
+                       help="float64 elements per chunk (default 65536)")
+    collp.add_argument("--op", choices=("allreduce", "broadcast"),
+                       default="allreduce",
+                       help="collective operation (default allreduce)")
+    collp.add_argument("--topology", default="torus2d",
+                       choices=("single", "ring", "torus2d", "torus3d"),
+                       help="fabric topology kind (default torus2d)")
+    collp.add_argument("--dims", type=int, nargs="+", default=None,
+                       help="topology dimensions, e.g. --dims 2 2")
+    collp.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (default 0)")
+    collp.add_argument("--quick", action="store_true",
+                       help="small chunks on a 2x2 torus (CI smoke)")
+    collp.add_argument("--json", dest="json_path", default=None,
+                       help="also write the report as JSON")
+    collp.add_argument("--check-determinism", action="store_true",
+                       help="run twice and assert bit-identical digests")
     perfp = sub.add_parser(
         "perf", help="run the wall-clock benchmark suite")
     perfp.add_argument("--quick", action="store_true",
@@ -325,6 +391,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return run_tenants(args)
     if args.cmd == "chaos":
         return run_chaos(args)
+    if args.cmd == "collective":
+        return run_collective(args)
     if args.cmd == "trace":
         trace_experiment(args.experiment, quick=args.quick,
                          out_path=args.out_path, timeline=args.timeline,

@@ -27,6 +27,8 @@ from ..sim import Engine
 from ..cluster.specs import CPUSpec
 from ..core.interface import (
     AcceleratorLifecycle,
+    CapabilitySet,
+    reinterpret_legacy_peer_transfer,
     reinterpret_legacy_pinned,
     release_all,
     unsupported,
@@ -131,10 +133,36 @@ class LocalAccelerator(AcceleratorLifecycle):
                 return self.gpu.memory.read_array(src, copy=copy)
             return self.gpu.memory.read(src, offset, nbytes, copy=copy)
 
-    def peer_put(self, src: int, nbytes: int, peer: _t.Any, peer_addr: int,
-                 transfer: _t.Any = None):
-        """Unsupported: a node-attached GPU has no fabric to copy over."""
-        unsupported("peer_put", self)
+    def capabilities(self) -> CapabilitySet:
+        """What this front-end supports (see :class:`CapabilitySet`).
+
+        ``peer_put=False``: there is no fabric, so peer transfers stage
+        through host memory (D2H + H2D) instead of flowing device-direct.
+        """
+        return CapabilitySet(peer_put=False, streams=False,
+                             zero_copy=zero_copy_enabled(), fabric=False)
+
+    def peer_put(self, src: int, nbytes: int, peer: _t.Any, dst: int,
+                 *legacy, transfer: _t.Any = None,
+                 pinned: bool | None = None):
+        """Staged peer copy: D2H into host memory, then H2D on ``peer``.
+
+        A node-attached GPU has no fabric, so the bytes bounce through the
+        host — same result, two PCIe crossings (``capabilities().peer_put``
+        is False so callers can plan for the cost).  A peer that cannot
+        receive (no ``memcpy_h2d``) raises the typed
+        :class:`~repro.errors.UnsupportedOp`, matching the historical
+        behaviour for unusable peers.
+        """
+        transfer = reinterpret_legacy_peer_transfer(legacy, transfer)
+        if not hasattr(peer, "memcpy_h2d"):
+            unsupported("peer_put", self)
+        with self._obs.start("client.peer_put_staged", self._actor,
+                             nbytes=int(nbytes)):
+            data = yield from self.memcpy_d2h(src, int(nbytes),
+                                              pinned=pinned)
+            yield from peer.memcpy_h2d(dst, data, transfer=transfer,
+                                       pinned=pinned)
 
     # -- kernels ----------------------------------------------------------
     def kernel_create(self, name: str):

@@ -56,16 +56,25 @@ class Cluster:
         self.spec = spec
         self.tracer = tracer
         self.engine = Engine()
-        self.fabric = Fabric(self.engine, spec.network, tracer)
+        topo = spec.topology.build() if spec.topology is not None else None
+        self.topology = topo
+        self.fabric = Fabric(self.engine, spec.network, tracer, topology=topo)
         self.fabric.set_core_capacity(spec.core_capacity_Bps())
         self.world = World(self.engine, self.fabric, tracer)
 
-        # Endpoints.
-        cn_eps = [self.fabric.add_endpoint(f"cn{i}")
+        # Endpoints.  On a multi-switch fabric, compute and accelerator
+        # nodes spread round-robin across the switches (independently, so
+        # every switch gets both kinds) and the ARM sits on the first.
+        def _sw(i: int) -> str | None:
+            if topo is None:
+                return None
+            return topo.switches[i % len(topo.switches)]
+
+        cn_eps = [self.fabric.add_endpoint(f"cn{i}", _sw(i))
                   for i in range(spec.n_compute)]
-        ac_eps = [self.fabric.add_endpoint(f"ac{j}")
+        ac_eps = [self.fabric.add_endpoint(f"ac{j}", _sw(j))
                   for j in range(spec.n_accelerators)]
-        arm_ep = self.fabric.add_endpoint("arm")
+        arm_ep = self.fabric.add_endpoint("arm", _sw(0))
 
         # Global communicator: [compute..., daemons..., arm].
         self.comm = self.world.create_comm(cn_eps + ac_eps + [arm_ep],
@@ -87,11 +96,14 @@ class Cluster:
             self.accelerator_nodes.append(node)
             self.daemons.append(Daemon(node, node.rank))
 
-        # The ARM service.
+        # The ARM service (topology-aware placement when multi-switch).
         roster = ([] if discovery else
                   [(node.ac_id, node.rank.index)
                    for node in self.accelerator_nodes])
-        self.arm = ResourceManager(self.comm.rank(self.arm_rank_index), roster)
+        switches = {node.ac_id: node.endpoint.switch
+                    for node in self.accelerator_nodes}
+        self.arm = ResourceManager(self.comm.rank(self.arm_rank_index), roster,
+                                   topology=topo, switches=switches)
 
         #: Discovery agents by ac id (empty in static-roster mode).
         self.agents: dict[int, "DiscoveryAgent"] = {}

@@ -14,7 +14,7 @@ import dataclasses
 
 from ..errors import ClusterConfigError
 from ..gpusim import GPUSpec, TESLA_C1060
-from ..netsim import IB_QDR_MPI, LinkModel
+from ..netsim import IB_QDR_MPI, LinkModel, TopologySpec
 from ..units import GiB, USEC
 
 
@@ -124,6 +124,10 @@ class ClusterSpec:
     compute: ComputeNodeSpec = ComputeNodeSpec()
     accelerator: AcceleratorNodeSpec = AcceleratorNodeSpec()
     switch_oversubscription: float = 1.0
+    #: None keeps the historical single non-blocking switch; a spec
+    #: builds a multi-switch fabric (ring / torus) with nodes spread
+    #: round-robin across switches (see ``Cluster``).
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_compute < 1:

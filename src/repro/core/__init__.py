@@ -11,6 +11,7 @@
 from .api import RemoteAccelerator, run_parallel
 from .arm import AcceleratorRecord, AcceleratorState, ArmClient, ResourceManager
 from .batch import BatchJobRecord, BatchJobSpec, BatchRunner, JobContext
+from .collectives import ring_allreduce, ring_broadcast
 from .blocksize import (
     AdaptiveBlockPolicy,
     BlockPolicy,
@@ -28,6 +29,7 @@ from .discovery import (
     DiscoveryAgent,
 )
 from .faults import FaultInjector
+from .interface import CapabilitySet, UnsupportedOp, unsupported
 from .protocol import (
     AcceleratorHandle,
     BATCHABLE_OPS,
@@ -89,6 +91,11 @@ __all__ = [
     "TenantAccelerator",
     "tenant_accelerator",
     "FaultInjector",
+    "CapabilitySet",
+    "UnsupportedOp",
+    "unsupported",
+    "ring_allreduce",
+    "ring_broadcast",
     "DiscoveryAgent",
     "CapabilityReport",
     "Autoscaler",

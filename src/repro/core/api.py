@@ -33,11 +33,17 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..buffers import zero_copy_enabled
 from ..errors import MiddlewareError, RequestTimeout
 from ..mpisim import RankHandle, payload_nbytes
 from ..obs.spans import collector_for
 from .blocksize import DEFAULT_TRANSFER, TransferConfig
-from .interface import AcceleratorLifecycle, release_all
+from .interface import (
+    AcceleratorLifecycle,
+    CapabilitySet,
+    reinterpret_legacy_peer_transfer,
+    release_all,
+)
 from .protocol import (
     AcceleratorHandle,
     Op,
@@ -256,22 +262,31 @@ class RemoteAccelerator(AcceleratorLifecycle):
             self.bytes_d2h += int(nbytes)
             return assemble_chunks(chunks, blocks, resp.value)
 
+    def capabilities(self) -> CapabilitySet:
+        """What this front-end supports (see :class:`CapabilitySet`)."""
+        return CapabilitySet(peer_put=True, streams=True,
+                             zero_copy=zero_copy_enabled(), fabric=True)
+
     def peer_put(self, src: int, nbytes: int, peer: "RemoteAccelerator",
-                 peer_addr: int, transfer: TransferConfig | None = None):
+                 dst: int, *legacy,
+                 transfer: TransferConfig | None = None,
+                 pinned: bool | None = None):
         """Copy device memory directly to another accelerator.
 
         The data flows accelerator-to-accelerator over the fabric without
         touching this compute node — the capability the paper highlights as
-        impossible with CUDA 4.2 / OpenCL 1.2 (Sect. III-C).
+        impossible with CUDA 4.2 / OpenCL 1.2 (Sect. III-C).  ``dst`` is
+        the destination address on ``peer`` (wire name ``peer_addr``).
         """
-        cfg = transfer or self.transfer
+        transfer = reinterpret_legacy_peer_transfer(legacy, transfer)
+        cfg = self._cfg(transfer, pinned)
         blocks = cfg.plan_blocks(int(nbytes), "d2h")
         with self._obs.start("client.peer_put", self._actor,
                              nbytes=int(nbytes),
                              peer=f"ac{peer.handle.ac_id}") as span:
             resp = yield from self._rpc(Op.PEER_PUT, {
                 "src": src, "blocks": blocks,
-                "peer_rank": peer.handle.daemon_rank, "peer_addr": peer_addr,
+                "peer_rank": peer.handle.daemon_rank, "peer_addr": dst,
                 "pinned": cfg.pinned, "gpudirect": cfg.gpudirect,
                 "block_post_s": cfg.d2h_block_post_s,
             }, span=span)

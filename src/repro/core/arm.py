@@ -77,6 +77,9 @@ class AcceleratorRecord:
     state: AcceleratorState = AcceleratorState.FREE
     owner_rank: int | None = None
     job: str | None = None
+    #: Fabric switch the device hangs off (None on a single switch);
+    #: drives topology-aware multi-device placement.
+    switch: str | None = None
     #: Total seconds spent in ASSIGNED state (utilization accounting).
     assigned_seconds: float = 0.0
     _assigned_at: float | None = None
@@ -95,12 +98,22 @@ class ResourceManager:
 
     def __init__(self, rank: RankHandle,
                  accelerators: _t.Sequence[tuple[int, int]],
-                 slots_per_device: int = DEFAULT_SLOTS_PER_DEVICE):
-        """``accelerators`` is a list of (ac_id, daemon_rank) pairs."""
+                 slots_per_device: int = DEFAULT_SLOTS_PER_DEVICE,
+                 topology: _t.Any = None,
+                 switches: _t.Mapping[int, str | None] | None = None):
+        """``accelerators`` is a list of (ac_id, daemon_rank) pairs.
+
+        ``topology`` (a :class:`~repro.netsim.Topology`) plus a
+        ``switches`` map (ac_id → switch name) turn on topology-aware
+        placement: multi-device allocations prefer co-located devices.
+        """
         self.rank = rank
         self.engine = rank.comm.engine
+        self.topology = topology
+        self._switches = dict(switches) if switches else {}
         self.records: dict[int, AcceleratorRecord] = {
-            ac_id: AcceleratorRecord(ac_id=ac_id, daemon_rank=daemon_rank)
+            ac_id: AcceleratorRecord(ac_id=ac_id, daemon_rank=daemon_rank,
+                                     switch=self._switches.get(ac_id))
             for ac_id, daemon_rank in accelerators
         }
         #: FIFO of whole-device allocation requests waiting for capacity.
@@ -169,8 +182,18 @@ class ResourceManager:
                 "job": r.job,
                 "assigned_seconds": assigned,
                 "leases": self.admission.used_slots(r.ac_id),
+                "switch": r.switch,
             }
         return out
+
+    def hop_distance(self, ac_a: int, ac_b: int) -> int:
+        """Trunk hops between two pool devices (0 without a topology)."""
+        if self.topology is None:
+            return 0
+        ra, rb = self.records.get(ac_a), self.records.get(ac_b)
+        if ra is None or rb is None or ra.switch is None or rb.switch is None:
+            return 0
+        return self.topology.hops(ra.switch, rb.switch)
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Mean assigned-time fraction over all accelerators.
@@ -276,7 +299,7 @@ class ResourceManager:
                 and self.admission.used_slots(r.ac_id) == 0]
         if len(free) < n:
             return False
-        chosen = sorted(free, key=lambda r: r.ac_id)[:n]
+        chosen = self._place(free, n)
         for r in chosen:
             r.state = AcceleratorState.ASSIGNED
             r.owner_rank = req.reply_to
@@ -285,6 +308,37 @@ class ResourceManager:
         self._reply(req, Response(req.req_id, Status.OK,
                                   value=[r.handle() for r in chosen]))
         return True
+
+    def _place(self, free: list[AcceleratorRecord],
+               n: int) -> list[AcceleratorRecord]:
+        """Pick ``n`` devices from ``free``, topology-aware when possible.
+
+        Without a topology (or for single-device requests) the historical
+        lowest-id order applies.  With one, every free device's switch is
+        tried as an anchor: the candidate set ranks the pool by
+        ``(hops-from-anchor, ac_id)`` and the anchor whose top-``n`` has
+        the smallest ``(max hop, total hops, ids)`` wins — same-switch
+        groups first, then tight neighbourhoods, ids as the final
+        deterministic tie-break (which also reproduces the historical
+        choice whenever hops tie, e.g. all devices co-located).
+        """
+        if self.topology is None or n <= 1:
+            return sorted(free, key=lambda r: r.ac_id)[:n]
+        hops = self.topology.hops
+        best = None
+        for anchor in sorted({r.switch for r in free if r.switch}):
+            ranked = sorted(
+                free, key=lambda r: (hops(anchor, r.switch)
+                                     if r.switch else len(self.topology.trunks),
+                                     r.ac_id))[:n]
+            dists = [hops(anchor, r.switch) for r in ranked if r.switch]
+            score = (max(dists, default=0), sum(dists),
+                     tuple(r.ac_id for r in ranked))
+            if best is None or score < best[0]:
+                best = (score, ranked)
+        if best is None:  # no free device knows its switch
+            return sorted(free, key=lambda r: r.ac_id)[:n]
+        return best[1]
 
     def _release(self, req: Request) -> None:
         ac_ids = req.params.get("ac_ids", [])
@@ -418,7 +472,8 @@ class ResourceManager:
             if not healthy:
                 return  # never admit a device reporting itself unhealthy
             self.records[ac_id] = AcceleratorRecord(
-                ac_id=ac_id, daemon_rank=p["daemon_rank"])
+                ac_id=ac_id, daemon_rank=p["daemon_rank"],
+                switch=p.get("switch", self._switches.get(ac_id)))
             self._last_seen[ac_id] = self.engine.now
             self.joins += 1
             self._log_pool("join", ac_id)

@@ -1,0 +1,125 @@
+"""Collective operations over the accelerator pool: ring allreduce and
+ring broadcast.
+
+The paper's workloads move data strictly host↔device; with the P2P data
+plane (``peer_put`` daemon→daemon forwarding) the classic ring
+collectives become expressible: each device talks only to its ring
+neighbour, so every transfer crosses at most the trunk segments between
+adjacent devices — on a topology-aware placement, usually zero.
+
+Both collectives run in two modes sharing one schedule:
+
+* ``mode="p2p"`` — transfers go device-direct over the fabric
+  (``peer_put``), never touching the driving compute node;
+* ``mode="staged"`` — the historical two-hop path (D2H to the compute
+  node, H2D to the peer), the oracle the P2P path must match
+  bit-identically.
+
+Bit-identity holds because the *schedule* fixes the accumulation order:
+reduce-scatter steps are barrier-separated and chunk ``c`` is summed
+sequentially along the ring, so the float64 additions associate the same
+way regardless of transport timing.
+
+Addresses are passed as per-device chunk tables (``chunks[i][c]`` =
+address of chunk ``c`` on device ``i``); chunks are separate allocations
+because the daemon's ``PEER_PUT`` path copies whole allocations from
+offset 0.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import MiddlewareError
+from .api import run_parallel
+
+#: Kernel used to accumulate a received chunk into the local one.
+_REDUCE_KERNEL = "daxpy"
+
+
+def _put(ac, src: int, nbytes: int, peer, dst: int, mode: str):
+    """One peer transfer in the requested mode (generator)."""
+    if mode == "p2p":
+        yield from ac.peer_put(src, nbytes, peer, dst)
+    elif mode == "staged":
+        data = yield from ac.memcpy_d2h(src, nbytes)
+        yield from peer.memcpy_h2d(dst, data)
+    else:
+        raise MiddlewareError(f"unknown collective mode {mode!r}")
+
+
+def ring_allreduce(engine, acs: _t.Sequence, chunks: _t.Sequence[_t.Sequence[int]],
+                   scratch: _t.Sequence[int], chunk_nbytes: int,
+                   elements: int, mode: str = "p2p"):
+    """Sum-allreduce across ``len(acs)`` devices (generator).
+
+    Every device starts with its own values in all ``N`` of its chunks
+    and ends with every chunk holding the element-wise sum over devices.
+    ``chunks[i][c]`` is chunk ``c``'s address on device ``i``;
+    ``scratch[i]`` is a receive buffer of ``chunk_nbytes`` on device
+    ``i``; ``elements`` is the float64 count per chunk.
+
+    Standard two-phase ring schedule (2·(N−1) steps): reduce-scatter
+    leaves device ``i`` holding the complete sum of chunk ``(i+1) % N``,
+    then allgather circulates the completed chunks.  Total bytes on the
+    wire per device: ``2 · (N-1) · chunk_nbytes``.
+    """
+    n = len(acs)
+    if n == 0:
+        raise MiddlewareError("allreduce over an empty device list")
+    if len(chunks) != n or any(len(row) != n for row in chunks):
+        raise MiddlewareError(f"need an {n}x{n} chunk table")
+    if len(scratch) != n:
+        raise MiddlewareError("need one scratch buffer per device")
+    if n == 1:
+        return
+    yield from run_parallel(
+        engine, [ac.kernel_create(_REDUCE_KERNEL) for ac in acs])
+
+    # Phase 1: reduce-scatter.  At step s device i forwards chunk
+    # (i - s) % n to its successor's scratch; the successor folds the
+    # received values into its own copy of that chunk.
+    for s in range(n - 1):
+        def _step(i: int, s: int = s):
+            j = (i + 1) % n
+            c = (i - s) % n
+            yield from _put(acs[i], chunks[i][c], chunk_nbytes,
+                            acs[j], scratch[j], mode)
+            yield from acs[j].kernel_run(_REDUCE_KERNEL, {
+                "x": scratch[j], "y": chunks[j][c],
+                "n": elements, "alpha": 1.0})
+        yield from run_parallel(engine, [_step(i) for i in range(n)])
+
+    # Phase 2: allgather.  Completed chunks circulate; receivers
+    # overwrite in place (no reduction kernel).
+    for s in range(n - 1):
+        def _gather(i: int, s: int = s):
+            j = (i + 1) % n
+            c = (i + 1 - s) % n
+            yield from _put(acs[i], chunks[i][c], chunk_nbytes,
+                            acs[j], chunks[j][c], mode)
+        yield from run_parallel(engine, [_gather(i) for i in range(n)])
+
+
+def ring_broadcast(engine, acs: _t.Sequence,
+                   chunks: _t.Sequence[_t.Sequence[int]], chunk_nbytes: int,
+                   root: int = 0, mode: str = "p2p"):
+    """Copy the root's chunks to every device around the ring (generator).
+
+    A pipeline-free store-and-forward ring: hop ``k`` copies all chunks
+    from device ``(root+k-1) % N`` to ``(root+k) % N`` (chunks move in
+    parallel within a hop).  N−1 hops; each crosses one ring edge only,
+    which is what makes it topology-friendly.
+    """
+    n = len(acs)
+    if n == 0:
+        raise MiddlewareError("broadcast over an empty device list")
+    if not 0 <= root < n:
+        raise MiddlewareError(f"broadcast root {root} out of range 0..{n - 1}")
+    for k in range(1, n):
+        i = (root + k - 1) % n
+        j = (root + k) % n
+        yield from run_parallel(engine, [
+            _put(acs[i], chunks[i][c], chunk_nbytes, acs[j], chunks[j][c],
+                 mode)
+            for c in range(len(chunks[i]))])

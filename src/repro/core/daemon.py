@@ -615,14 +615,19 @@ class Daemon:
         This daemon acts as the front-end of a regular H2D transfer into the
         peer daemon: device-to-host DMA here overlaps with the network
         stream into the peer, which pipelines into its own GPU.
+
+        Validation replies synchronously; the forward-and-stream body
+        (which waits on the peer daemon's reply) runs as its own process
+        so this serve loop stays responsive.  Handled inline, a ring of
+        concurrent peer_puts would deadlock: every daemon blocked on its
+        successor's reply while the successor's loop — the only thing
+        that could service the incoming forwarded H2D — is itself
+        blocked the same way.
         """
         from .protocol import data_tag, next_request_id
         p = req.params
         src_addr = p["src"]
-        peer_rank = p["peer_rank"]
-        peer_addr = p["peer_addr"]
         blocks: list[tuple[int, int]] = p["blocks"]
-        pinned: bool = p.get("pinned", True)
         nbytes = sum(size for _, size in blocks)
         try:
             alloc = self.gpu.memory.allocation(src_addr)
@@ -640,32 +645,59 @@ class Daemon:
         if is_real and alloc.dtype is not None and alloc.shape is not None:
             meta = (alloc.dtype.str, alloc.shape)
         fwd_id = next_request_id()
-        dtag = data_tag(fwd_id)
         # The forwarded request carries this daemon's span context, so the
         # peer's H2D handling joins the same trace as the originating op.
         fwd = Request(op=Op.MEMCPY_H2D, req_id=fwd_id, reply_to=self.rank.index,
-                      params={"dst": peer_addr, "blocks": blocks,
-                              "data_tag": dtag, "pinned": pinned,
+                      params={"dst": p["peer_addr"], "blocks": blocks,
+                              "data_tag": data_tag(fwd_id),
+                              "pinned": p.get("pinned", True),
                               "gpudirect": p.get("gpudirect", True),
                               "meta": meta},
                       trace=self._cur_span.wire)
-        self.rank.isend(peer_rank, TAG_REQUEST, fwd)
-        block_post = p.get("block_post_s")
-        region: ChunkView | None = None
-        if is_real and zero_copy_enabled():
-            region = self.gpu.memory.read_chunk(src_addr, 0, nbytes)
-        for off, size in blocks:
-            yield self.gpu.dma.copy(size, pinned=pinned,
-                                    ctx=self._cur_span.context)
-            chunk: _t.Any = (region.subview(off, size) if region is not None
-                             else self.gpu.memory.read(src_addr, off, size)
-                             if is_real else Phantom(size))
-            self.rank.isend(peer_rank, dtag, chunk, eager=True,
-                            injection_s=block_post)
-        msg = yield from self.rank.recv(source=peer_rank, tag=reply_tag(fwd_id))
-        peer_resp: Response = msg.payload
-        self._reply(req, Response(req.req_id, peer_resp.status,
-                                  error=peer_resp.error))
+        self.engine.process(
+            self._peer_put_stream(req, fwd, is_real, nbytes,
+                                  self._cur_span.wire),
+            name=f"peerput:{self.node.name}")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _peer_put_stream(self, req: Request, fwd: Request, is_real: bool,
+                         nbytes: int, trace):
+        """The streaming body of one PEER_PUT (its own process).
+
+        Captures the handler span via its wire form instead of touching
+        ``self._cur_span``, which by now belongs to whatever request the
+        serve loop moved on to.
+        """
+        p = req.params
+        peer_rank = p["peer_rank"]
+        src_addr = p["src"]
+        pinned: bool = p.get("pinned", True)
+        obs = self._obs
+        span = (obs.start("daemon.peer_put.stream", self.node.name,
+                          parent=context_from_wire(trace),
+                          req_id=req.req_id, nbytes=nbytes)
+                if obs.enabled else NULL_SPAN)
+        with span:
+            self.rank.isend(peer_rank, TAG_REQUEST, fwd)
+            block_post = p.get("block_post_s")
+            dtag = fwd.params["data_tag"]
+            region: ChunkView | None = None
+            if is_real and zero_copy_enabled():
+                region = self.gpu.memory.read_chunk(src_addr, 0, nbytes)
+            for off, size in p["blocks"]:
+                yield self.gpu.dma.copy(size, pinned=pinned, ctx=span.context)
+                chunk: _t.Any = (region.subview(off, size)
+                                 if region is not None
+                                 else self.gpu.memory.read(src_addr, off, size)
+                                 if is_real else Phantom(size))
+                self.rank.isend(peer_rank, dtag, chunk, eager=True,
+                                injection_s=block_post)
+            msg = yield from self.rank.recv(source=peer_rank,
+                                            tag=reply_tag(fwd.req_id))
+            peer_resp: Response = msg.payload
+            self._reply(req, Response(req.req_id, peer_resp.status,
+                                      error=peer_resp.error))
 
     # -- kernels --------------------------------------------------------
     def _exec_kernel_create(self, req_id: int, params: dict):

@@ -48,12 +48,19 @@ class CapabilityReport:
     #: Monotonic per-agent sequence number (diagnostics, not ordering —
     #: the fabric already delivers per-pair in order).
     seq: int
+    #: Fabric placement: the switch this device hangs off and its trunk
+    #: distance to the ARM (both None on a single-switch fabric) — lets
+    #: the ARM place multi-device allocations topology-aware and lets
+    #: operators see network locality in the discovery feed.
+    switch: str | None = None
+    hops_to_arm: int | None = None
 
     def params(self) -> dict:
         return {
             "ac_id": self.ac_id, "daemon_rank": self.daemon_rank,
             "healthy": self.healthy, "version": self.version,
             "active_slices": self.active_slices, "seq": self.seq,
+            "switch": self.switch, "hops_to_arm": self.hops_to_arm,
             "oneway": True,
         }
 
@@ -124,11 +131,18 @@ class DiscoveryAgent:
         """The report the agent would publish right now."""
         d = self.daemon
         self._seq += 1
+        switch = hops = None
+        ep = getattr(d.node, "endpoint", None)
+        if ep is not None and ep.switch is not None:
+            switch = ep.switch
+            fabric = ep.fabric
+            if "arm" in fabric.endpoints:
+                hops = fabric.hop_count(ep.name, "arm")
         return CapabilityReport(
             ac_id=self.ac_id, daemon_rank=d.rank.index,
             healthy=not d.broken, version=d.version,
             active_slices=sum(1 for v in d._vacs.values() if not v.revoked),
-            seq=self._seq)
+            seq=self._seq, switch=switch, hops_to_arm=hops)
 
     def _publish(self, generation: int):
         if self.phase_s > 0:

@@ -18,19 +18,54 @@ behind deprecation shims, not removed):
   (:class:`~repro.core.blocksize.TransferConfig`) and the local path's
   per-call ``pinned`` override; backends ignore what has no meaning for
   them (a local copy has no network protocol).
-* Optional capabilities (``peer_put`` on fabric-less backends) raise the
-  typed :class:`~repro.errors.UnsupportedOp` instead of ``AttributeError``
-  so callers can degrade gracefully.
+* ``peer_put(src, nbytes, peer, dst, *, transfer=None, pinned=None)`` —
+  unified across all backends in the P2P redesign.  The fourth parameter
+  was historically called ``peer_addr`` and ``transfer`` was positional;
+  both old spellings keep working for one release behind
+  :func:`reinterpret_legacy_peer_transfer` (a ``DeprecationWarning``, same
+  policy as the ``pinned`` shim).  Backends without a native fabric path
+  stage the transfer through host memory (D2H + H2D) instead of raising,
+  *provided* the peer can participate; an unusable peer still raises the
+  typed :class:`~repro.errors.UnsupportedOp`.
+* Capability negotiation: ``capabilities()`` returns a frozen
+  :class:`CapabilitySet` so callers branch on a query up front instead of
+  catching :class:`~repro.errors.UnsupportedOp` after the fact.  Direct
+  calls to an unsupported op still raise the typed error — the query and
+  the raise must agree (the conformance suite checks this).
 * Every backend is a context manager: ``with`` synchronizes and releases
   live allocations on exit (see :class:`AcceleratorLifecycle`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 import warnings
 
 from ..errors import UnsupportedOp
+
+
+@dataclasses.dataclass(frozen=True)
+class CapabilitySet:
+    """What one accelerator front-end can actually do.
+
+    * ``peer_put`` — native device↔device path over the fabric (daemon
+      forwards directly to the peer daemon).  ``False`` means a call to
+      ``peer_put`` degrades to a staged host copy when the peer exposes
+      ``memcpy_h2d``, and raises :class:`~repro.errors.UnsupportedOp`
+      otherwise.
+    * ``streams`` — ``stream()`` coalesces control ops into BATCH frames
+      (``False``: streams exist but execute eagerly, no batching).
+    * ``zero_copy`` — the data plane hands out :class:`ChunkView` loans
+      instead of materialised copies.
+    * ``fabric`` — operations traverse the simulated network fabric (and
+      therefore appear in fabric byte/message accounting).
+    """
+
+    peer_put: bool = False
+    streams: bool = False
+    zero_copy: bool = False
+    fabric: bool = False
 
 
 @_t.runtime_checkable
@@ -63,8 +98,11 @@ class AcceleratorAPI(_t.Protocol):
 
     def ping(self) -> _t.Iterator: ...
 
+    def capabilities(self) -> "CapabilitySet": ...
+
     def peer_put(self, src: int, nbytes: int, peer: _t.Any,
-                 peer_addr: int, transfer: _t.Any = None) -> _t.Iterator: ...
+                 dst: int, *, transfer: _t.Any = None,
+                 pinned: bool | None = None) -> _t.Iterator: ...
 
     def stream(self, max_batch: int | None = None,
                name: str | None = None) -> _t.Any: ...
@@ -158,10 +196,39 @@ def reinterpret_legacy_pinned(transfer: _t.Any, pinned: bool | None,
     return transfer, pinned
 
 
+def reinterpret_legacy_peer_transfer(legacy: tuple, transfer: _t.Any,
+                                     method: str = "peer_put") -> _t.Any:
+    """Deprecation shim for the pre-redesign ``peer_put`` call shape.
+
+    ``peer_put`` used to take ``transfer`` as a fifth positional
+    parameter; the unified surface makes it keyword-only (matching
+    ``memcpy_*``).  One release of grace: a fifth positional argument is
+    reinterpreted as ``transfer`` with a ``DeprecationWarning``, after
+    which the shim is removed and the call becomes a ``TypeError``.
+    """
+    if not legacy:
+        return transfer
+    if len(legacy) > 1:
+        raise TypeError(
+            f"{method}() takes 4 positional arguments "
+            f"(src, nbytes, peer, dst) but {4 + len(legacy)} were given")
+    warnings.warn(
+        f"{method}: passing 'transfer' positionally is deprecated — the "
+        f"unified AcceleratorAPI signature is "
+        f"{method}(src, nbytes, peer, dst, *, transfer=None, pinned=None); "
+        f"use the transfer= keyword (shim removed next release)",
+        DeprecationWarning, stacklevel=3)
+    if transfer is not None:
+        raise TypeError(f"{method}() got 'transfer' both positionally "
+                        f"and as a keyword")
+    return legacy[0]
+
+
 #: Methods every backend must expose; the conformance suite checks this
 #: list against :class:`AcceleratorAPI` so the two cannot drift.
 API_METHODS = (
     "mem_alloc", "mem_free", "memcpy_h2d", "memcpy_d2h",
     "kernel_create", "kernel_set_args", "kernel_run",
-    "ping", "peer_put", "stream", "release", "__enter__", "__exit__",
+    "ping", "capabilities", "peer_put", "stream", "release",
+    "__enter__", "__exit__",
 )

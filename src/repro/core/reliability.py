@@ -38,7 +38,13 @@ import numpy as np
 from ..errors import AcceleratorFault, MiddlewareError, RequestTimeout
 from ..mpisim import Phantom, RankHandle
 from ..obs.spans import NULL_SPAN, collector_for
-from .interface import AcceleratorLifecycle, release_all, unsupported
+from .interface import (
+    AcceleratorLifecycle,
+    CapabilitySet,
+    reinterpret_legacy_peer_transfer,
+    release_all,
+    unsupported,
+)
 from .protocol import (
     AcceleratorHandle,
     Op,
@@ -480,16 +486,37 @@ class ResilientAccelerator(AcceleratorLifecycle):
             lambda: self._ac.ping(timeout_s=timeout_s))
         return result
 
-    def peer_put(self, src: int, nbytes: int, peer: _t.Any, peer_addr: int,
-                 transfer=None):
-        """Unsupported: a direct peer copy bypasses the failover guard.
+    def capabilities(self) -> CapabilitySet:
+        """Capabilities of the guarded surface.
 
-        The data would move accelerator-to-accelerator without updating
-        the destination's host shadow, so a later failover of *either*
-        side could not replay it.  Callers fall back to a guarded
-        D2H + H2D bounce.
+        ``peer_put`` and ``streams`` are masked off the wrapped backend's
+        set: a direct device↔device copy would bypass the host shadows
+        this wrapper replays from on failover, and streams pump unbatched
+        so each op stays individually guarded.
         """
-        unsupported("peer_put", self)
+        return dataclasses.replace(self._ac.capabilities(),
+                                   peer_put=False, streams=False)
+
+    def peer_put(self, src: int, nbytes: int, peer: _t.Any, dst: int,
+                 *legacy, transfer=None, pinned: bool | None = None):
+        """Staged peer copy through the failover guard.
+
+        A *direct* fabric copy would move data accelerator-to-accelerator
+        without updating the destination's host shadow, so a later
+        failover of either side could not replay it
+        (``capabilities().peer_put`` is False).  Instead the bytes bounce
+        through this compute node as a guarded D2H + H2D pair — the
+        receiving side's ``memcpy_h2d`` records the write into its
+        shadow, keeping both replicas replayable.  A peer that cannot
+        receive raises the typed :class:`~repro.errors.UnsupportedOp`.
+        """
+        transfer = reinterpret_legacy_peer_transfer(legacy, transfer)
+        if not hasattr(peer, "memcpy_h2d"):
+            unsupported("peer_put", self)
+        data = yield from self.memcpy_d2h(src, int(nbytes), transfer=transfer,
+                                          pinned=pinned)
+        yield from peer.memcpy_h2d(dst, data, transfer=transfer,
+                                   pinned=pinned)
 
     def release(self):
         """Free every live (virtual) allocation, with failover guarding."""

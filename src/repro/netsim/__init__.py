@@ -1,8 +1,9 @@
-"""Network substrate: link models, point-to-point links, switched fabric."""
+"""Network substrate: link models, links, switched multi-topology fabric."""
 
 from .fabric import Endpoint, Fabric, Transmission
 from .link import Link
 from .models import IB_QDR_MPI, PRESETS, TCP_10GE, TCP_IPOIB, LinkModel, preset
+from .topology import Topology, TopologySpec, topology_spec
 
 __all__ = [
     "LinkModel",
@@ -15,4 +16,7 @@ __all__ = [
     "Endpoint",
     "Transmission",
     "Link",
+    "Topology",
+    "TopologySpec",
+    "topology_spec",
 ]

@@ -21,6 +21,7 @@ from ..obs.spans import NULL_SPAN, collector_for
 from ..sim import BandwidthShare, Engine, Event, Resource, Tracer, NULL_TRACER
 from ..sim.events import Timeout
 from .models import LinkModel
+from .topology import Topology
 
 
 class Transmission:
@@ -32,11 +33,12 @@ class Transmission:
     """
 
     __slots__ = ("src", "dst", "nbytes", "injected", "delivered",
-                 "injection_s", "dropped")
+                 "injection_s", "dropped", "hops")
 
     def __init__(self, src: "Endpoint", dst: "Endpoint", nbytes: int,
                  injected: Event, delivered: Event,
-                 injection_s: float | None = None):
+                 injection_s: float | None = None,
+                 hops: tuple[tuple[str, str], ...] = ()):
         self.src = src
         self.dst = dst
         self.nbytes = nbytes
@@ -47,6 +49,9 @@ class Transmission:
         #: Set synchronously by :meth:`Fabric.transfer` when the link is
         #: cut: sender-side costs are paid, ``delivered`` never fires.
         self.dropped = False
+        #: Directed inter-switch trunk pairs this message traverses
+        #: (empty on a single switch or a same-switch pair).
+        self.hops = hops
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Transmission {self.src.name}->{self.dst.name} {self.nbytes}B>"
@@ -55,14 +60,19 @@ class Transmission:
 class Endpoint:
     """One fabric port (a compute node or accelerator node NIC)."""
 
-    def __init__(self, fabric: "Fabric", name: str):
+    def __init__(self, fabric: "Fabric", name: str, switch: str | None = None):
         self.fabric = fabric
         self.name = name
+        #: Switch this port hangs off (None on a topology-less fabric).
+        self.switch = switch
         model = fabric.model
         #: Receive-side bandwidth pool: concurrent senders share it fairly.
         self.rx = BandwidthShare(fabric.engine, model.bandwidth_Bps)
         #: The send-side NIC: drains its message queue FIFO.
         self.nic = Resource(fabric.engine, capacity=1)
+        #: Delivered-byte totals for endpoint-traffic accounting.
+        self.tx_bytes = 0
+        self.rx_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Endpoint {self.name}>"
@@ -80,7 +90,8 @@ class Fabric:
     accelerator-to-node ratio low).
     """
 
-    def __init__(self, engine: Engine, model: LinkModel, tracer: Tracer = NULL_TRACER):
+    def __init__(self, engine: Engine, model: LinkModel, tracer: Tracer = NULL_TRACER,
+                 topology: Topology | None = None):
         self.engine = engine
         self.model = model
         self.tracer = tracer
@@ -96,6 +107,27 @@ class Fabric:
         self._slow: dict[tuple[str, str], float] = {}
         self.messages_dropped = 0
         self.bytes_dropped = 0
+        #: Multi-switch extension: one BandwidthShare per *directed* trunk
+        #: so cross-switch flows contend hop by hop, a per-hop latency,
+        #: and routed impairments (cut/slow applied to trunk segments).
+        self.topology = topology
+        self._trunks: dict[tuple[str, str], BandwidthShare] = {}
+        self._trunk_latency_s = 0.0
+        self.trunk_bytes: dict[tuple[str, str], int] = {}
+        self._trunk_cuts: dict[tuple[str, str], int] = {}
+        self._pair_trunk_cuts: dict[tuple[str, str],
+                                    tuple[tuple[str, str], ...]] = {}
+        self._slow_trunks: dict[tuple[str, str], float] = {}
+        self._hop_cache: dict[tuple[str, str],
+                              tuple[tuple[str, str], ...]] = {}
+        if topology is not None:
+            trunk_bw = topology.trunk_bandwidth_Bps or model.bandwidth_Bps
+            self._trunk_latency_s = (model.latency_s
+                                     if topology.trunk_latency_s is None
+                                     else topology.trunk_latency_s)
+            for a, b in topology.trunks:
+                self._trunks[(a, b)] = BandwidthShare(engine, trunk_bw)
+                self._trunks[(b, a)] = BandwidthShare(engine, trunk_bw)
 
     def set_core_capacity(self, capacity_Bps: float | None) -> None:
         """Limit the switch core to ``capacity_Bps`` (None = non-blocking)."""
@@ -104,11 +136,27 @@ class Fabric:
         else:
             self._core = BandwidthShare(self.engine, capacity_Bps)
 
-    def add_endpoint(self, name: str) -> Endpoint:
-        """Register a new port on the fabric. Names must be unique."""
+    def add_endpoint(self, name: str, switch: str | None = None) -> Endpoint:
+        """Register a new port on the fabric. Names must be unique.
+
+        On a multi-switch fabric ``switch`` attaches the port to a named
+        switch (default: the topology's first switch).
+        """
         if name in self.endpoints:
             raise NetworkError(f"duplicate endpoint name: {name!r}")
-        ep = Endpoint(self, name)
+        topo = self.topology
+        if topo is None:
+            if switch is not None:
+                raise NetworkError(
+                    f"endpoint {name!r} names switch {switch!r} but the "
+                    f"fabric has no topology")
+        else:
+            if switch is None:
+                switch = topo.switches[0]
+            elif switch not in topo._adjacency:
+                raise NetworkError(f"unknown switch {switch!r} for "
+                                   f"endpoint {name!r}")
+        ep = Endpoint(self, name, switch)
         self.endpoints[name] = ep
         return ep
 
@@ -119,6 +167,28 @@ class Fabric:
         except KeyError:
             raise NetworkError(f"unknown endpoint {name!r}") from None
 
+    # -- topology queries -----------------------------------------------
+    def switch_of(self, name: str) -> str | None:
+        """Switch the named endpoint hangs off (None without a topology)."""
+        return self.endpoint(name).switch
+
+    def hop_count(self, a: str, b: str) -> int:
+        """Trunk hops between two endpoints (0 = same switch / no topo)."""
+        return len(self._route_hops(a, b))
+
+    def _route_hops(self, src: str, dst: str) -> tuple[tuple[str, str], ...]:
+        if self.topology is None or src == dst:
+            return ()
+        key = (src, dst)
+        hops = self._hop_cache.get(key)
+        if hops is None:
+            sa = self.endpoint(src).switch
+            sb = self.endpoint(dst).switch
+            hops = (() if sa == sb
+                    else self.topology.trunk_hops(sa, sb))
+            self._hop_cache[key] = hops
+        return hops
+
     # -- impairments (chaos injection) ----------------------------------
     def cut(self, a: str, b: str, bidirectional: bool = True) -> None:
         """Partition the ``a``/``b`` link: messages on it vanish in flight.
@@ -127,12 +197,23 @@ class Fabric:
         but nothing arrives and no delivery event ever fires — exactly
         the silence a real partition produces.  Loopback (``a == b``)
         traffic is never cut.
+
+        When ``a`` and ``b`` sit on different switches the cut is routed:
+        the trunk segments on their path go down, so every endpoint pair
+        whose route crosses those trunks loses connectivity too (a real
+        trunk failure severs the path, not one flow).  Same-switch pairs
+        keep the original port-level semantics.
         """
         if a not in self.endpoints or b not in self.endpoints:
             raise NetworkError(f"unknown endpoint in cut: {a!r}/{b!r}")
-        self._cuts.add((a, b))
-        if bidirectional:
-            self._cuts.add((b, a))
+        for src, dst in ([(a, b), (b, a)] if bidirectional else [(a, b)]):
+            hops = self._route_hops(src, dst)
+            if hops and (src, dst) not in self._pair_trunk_cuts:
+                self._pair_trunk_cuts[(src, dst)] = hops
+                for h in hops:
+                    self._trunk_cuts[h] = self._trunk_cuts.get(h, 0) + 1
+            else:
+                self._cuts.add((src, dst))
 
     def heal(self, a: str | None = None, b: str | None = None,
              bidirectional: bool = True) -> None:
@@ -143,13 +224,25 @@ class Fabric:
         """
         if a is None:
             self._cuts.clear()
+            self._trunk_cuts.clear()
+            self._pair_trunk_cuts.clear()
             return
-        self._cuts.discard((a, b))
-        if bidirectional:
-            self._cuts.discard((b, a))
+        for src, dst in ([(a, b), (b, a)] if bidirectional else [(a, b)]):
+            self._cuts.discard((src, dst))
+            hops = self._pair_trunk_cuts.pop((src, dst), ())
+            for h in hops:
+                left = self._trunk_cuts.get(h, 0) - 1
+                if left <= 0:
+                    self._trunk_cuts.pop(h, None)
+                else:
+                    self._trunk_cuts[h] = left
 
     def is_cut(self, src: str, dst: str) -> bool:
-        return (src, dst) in self._cuts
+        if (src, dst) in self._cuts:
+            return True
+        if not self._trunk_cuts:
+            return False
+        return any(h in self._trunk_cuts for h in self._route_hops(src, dst))
 
     def set_link_delay(self, a: str, b: str, extra_s: float,
                        bidirectional: bool = True) -> None:
@@ -158,20 +251,34 @@ class Fabric:
         ``extra_s`` of 0 restores the nominal latency.  Ordering per
         (src, dst) pair is preserved: the extra delay is a constant, so
         messages delay-shift uniformly instead of overtaking.
+
+        Cross-switch pairs route the impairment to the first trunk
+        segment on their path, so every flow crossing that trunk slows
+        down — the fault lives on the wire, not on one endpoint pair.
         """
         if extra_s < 0:
             raise NetworkError(f"negative link delay: {extra_s!r}")
         pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
         for pair in pairs:
+            hops = self._route_hops(*pair)
+            target: dict = self._slow_trunks if hops else self._slow
+            key = hops[0] if hops else pair
             if extra_s == 0:
-                self._slow.pop(pair, None)
+                target.pop(key, None)
             else:
-                self._slow[pair] = extra_s
+                target[key] = extra_s
 
     def _extra_latency(self, tx: Transmission) -> float:
-        if not self._slow or tx.src is tx.dst:
+        if tx.src is tx.dst:
             return 0.0
-        return self._slow.get((tx.src.name, tx.dst.name), 0.0)
+        extra = 0.0
+        if self._slow:
+            extra = self._slow.get((tx.src.name, tx.dst.name), 0.0)
+        if self._slow_trunks and tx.hops:
+            slow = self._slow_trunks
+            for h in tx.hops:
+                extra += slow.get(h, 0.0)
+        return extra
 
     def transfer(self, src: Endpoint | str, dst: Endpoint | str, nbytes: int,
                  weight: float = 1.0,
@@ -200,8 +307,14 @@ class Fabric:
             raise NetworkError(f"negative injection override: {injection_s!r}")
         injected = self.engine.event()
         delivered = self.engine.event()
-        tx = Transmission(src, dst, nbytes, injected, delivered, injection_s)
-        if self._cuts and src is not dst and (src.name, dst.name) in self._cuts:
+        hops = (self._route_hops(src.name, dst.name)
+                if self.topology is not None and src is not dst else ())
+        tx = Transmission(src, dst, nbytes, injected, delivered, injection_s,
+                          hops)
+        if src is not dst and (
+                (self._cuts and (src.name, dst.name) in self._cuts)
+                or (self._trunk_cuts
+                    and any(h in self._trunk_cuts for h in hops))):
             # Decided synchronously so the messaging layer above can see
             # the drop before registering delivery-ordering callbacks.
             tx.dropped = True
@@ -215,6 +328,22 @@ class Fabric:
         else:
             self._fast_flow(tx, weight)
         return tx
+
+    def _account_delivery(self, tx: Transmission) -> None:
+        """Delivery bookkeeping shared by the fast and traced paths.
+
+        ``bytes_moved`` counts each message once regardless of hop count
+        (it is an end-to-end total); trunk traffic is accounted
+        separately per segment in :attr:`trunk_bytes`.
+        """
+        self.bytes_moved += tx.nbytes
+        self.messages_sent += 1
+        tx.src.tx_bytes += tx.nbytes
+        tx.dst.rx_bytes += tx.nbytes
+        if tx.hops:
+            tb = self.trunk_bytes
+            for h in tx.hops:
+                tb[h] = tb.get(h, 0) + tx.nbytes
 
     def _fast_flow(self, tx: Transmission, weight: float) -> None:
         """Untraced flow as a callback chain (no generator Process).
@@ -230,15 +359,15 @@ class Fabric:
         engine = self.engine
 
         def _delivered_first(_ev):
-            self.bytes_moved += tx.nbytes
-            self.messages_sent += 1
+            self._account_delivery(tx)
 
         tx.delivered.callbacks = [_delivered_first]
 
         def _drained(_ev):
             tx.src.nic.release()
             # Merged Timeout(latency) + delivered.succeed(): schedule the
-            # delivered event itself one wire latency out.
+            # delivered event itself one wire latency out (plus one trunk
+            # latency per inter-switch hop).
             delivered = tx.delivered
             delivered._ok = True
             delivered._value = None
@@ -246,6 +375,8 @@ class Fabric:
             delay = (model.latency_s
                      if tx.src is not tx.dst and model.latency_s > 0
                      else 0.0)
+            if tx.hops:
+                delay += self._trunk_latency_s * len(tx.hops)
             delay += self._extra_latency(tx)
             heapq.heappush(engine._heap,
                            (engine.now + delay, next(engine._seq), delivered))
@@ -258,10 +389,16 @@ class Fabric:
                 return
             if tx.nbytes > 0:
                 rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
+                stages = None
                 if self._core is not None and tx.src is not tx.dst:
-                    engine.all_of(
-                        [rx_done, self._core.transfer(tx.nbytes, weight)]
-                    ).add_callback(_drained)
+                    stages = [rx_done, self._core.transfer(tx.nbytes, weight)]
+                if tx.hops:
+                    if stages is None:
+                        stages = [rx_done]
+                    stages += [self._trunks[h].transfer(tx.nbytes, weight)
+                               for h in tx.hops]
+                if stages is not None:
+                    engine.all_of(stages).add_callback(_drained)
                 else:
                     rx_done.add_callback(_drained)
             else:
@@ -314,22 +451,32 @@ class Fabric:
             #    senders into one endpoint split its bandwidth fairly, and
             #    the resulting backpressure keeps this NIC busy longer.
             #    With a finite switch core, inter-node flows traverse it as
-            #    well and proceed at the slower of the two stages.
+            #    well and proceed at the slower of the two stages; on a
+            #    multi-switch route the flow also drains through every
+            #    trunk segment it crosses (per-hop contention).
             if tx.nbytes > 0:
                 rx_done = tx.dst.rx.transfer(tx.nbytes, weight)
+                stages = None
                 if self._core is not None and tx.src is not tx.dst:
-                    yield engine.all_of(
-                        [rx_done, self._core.transfer(tx.nbytes, weight)])
+                    stages = [rx_done, self._core.transfer(tx.nbytes, weight)]
+                if tx.hops:
+                    if stages is None:
+                        stages = [rx_done]
+                    stages += [self._trunks[h].transfer(tx.nbytes, weight)
+                               for h in tx.hops]
+                if stages is not None:
+                    yield engine.all_of(stages)
                 else:
                     yield rx_done
             tx.src.nic.release()
             # 3. Propagation latency (not a NIC resource).
             prop = (model.latency_s if tx.src is not tx.dst else 0.0)
+            if tx.hops:
+                prop += self._trunk_latency_s * len(tx.hops)
             prop += self._extra_latency(tx)
             if prop > 0:
                 yield Timeout(engine, prop)
-            self.bytes_moved += tx.nbytes
-            self.messages_sent += 1
+            self._account_delivery(tx)
             tracer = self.tracer
             if tracer.enabled:
                 tracer.log(engine.now, "net.delivered",

@@ -222,6 +222,32 @@ def _bench_mp2c(quick: bool) -> tuple[float, float, dict]:
                         "ranks": 2}
 
 
+def _bench_collective(quick: bool) -> tuple[float, float, dict]:
+    """P2P ring allreduce end to end on a 2x2 torus: the daemon→daemon
+    forwarding path, per-hop trunk contention, and the reduce kernels —
+    the whole P2P data plane in one number.  Also records hop counts and
+    the cn-endpoint byte ratio vs the staged path (reported as detail;
+    the ≥2× gate itself lives in the CI p2p-smoke job)."""
+    from ..workloads.collective import CollectiveConfig, run_once
+
+    elements = 2048 if quick else 16384
+    reps = 2 if quick else 3
+    cfg = CollectiveConfig(devices=8, chunk_elements=elements,
+                           topology="torus2d", dims=(2, 2))
+    staged = run_once(cfg, "staged")  # warm + staged byte reference
+    best = float("inf")
+    p2p = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        p2p = run_once(cfg, "p2p")
+        best = min(best, time.perf_counter() - t0)
+    return best, best, {
+        "devices": cfg.devices, "elements": elements, "reps": reps,
+        "identical": p2p.digest == staged.digest,
+        "cn_byte_ratio": round(staged.cn_bytes / max(p2p.cn_bytes, 1), 1),
+        "virtual_speedup": round(staged.duration_s / p2p.duration_s, 2)}
+
+
 #: The registered suite, in execution order.
 BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("engine_events", "events/s", "higher",
@@ -247,6 +273,9 @@ BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("fig11_mp2c", "s", "lower",
               "fig11 MP2C end to end, 2 ranks", _bench_mp2c,
               quick=False),
+    Benchmark("collective_ring", "s", "lower",
+              "P2P ring allreduce, 8 devices on a 2x2 torus",
+              _bench_collective),
 )
 
 

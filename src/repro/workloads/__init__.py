@@ -1,5 +1,5 @@
-"""Workloads: bandwidth micro-benchmarks, linear algebra, MP2C, tenants."""
+"""Workloads: bandwidth, linear algebra, MP2C, tenants, collectives."""
 
-from . import bandwidth, linalg, mp2c, pingpong, tenants
+from . import bandwidth, collective, linalg, mp2c, pingpong, tenants
 
-__all__ = ["bandwidth", "pingpong", "linalg", "mp2c", "tenants"]
+__all__ = ["bandwidth", "pingpong", "linalg", "mp2c", "tenants", "collective"]

@@ -7,13 +7,15 @@ the context-manager lifecycle and the legacy-signature deprecation shims
 behave uniformly.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.baselines import LocalAccelerator
 from repro.cluster import Cluster, paper_testbed
 from repro.core import FailoverConfig
-from repro.core.interface import API_METHODS, AcceleratorAPI
+from repro.core.interface import API_METHODS, AcceleratorAPI, CapabilitySet
 from repro.errors import MiddlewareError, UnsupportedOp
 
 BACKENDS = ("remote", "local", "resilient")
@@ -180,3 +182,113 @@ class TestDeprecationShims:
         sess.call(local.memcpy_h2d(ptr, data, pinned=False))
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
+
+
+class TestCapabilityNegotiation:
+    """capabilities() is the query; UnsupportedOp is the enforcement.
+    The two must always agree."""
+
+    def test_every_backend_reports_capabilities(self, backend):
+        caps = backend.capabilities()
+        assert isinstance(caps, CapabilitySet)
+        for field in ("peer_put", "streams", "zero_copy", "fabric"):
+            assert isinstance(getattr(caps, field), bool)
+
+    def test_capability_set_is_frozen(self, backend):
+        caps = backend.capabilities()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            caps.peer_put = True
+
+    def test_capabilities_agree_with_unsupported(self, rig, backend):
+        """peer_put=False means a peer-less direct call raises the typed
+        error; peer_put=True means the op is natively available."""
+        _, sess = rig
+        caps = backend.capabilities()
+        if caps.peer_put:
+            assert type(backend).__name__ == "RemoteAccelerator"
+        else:
+            with pytest.raises(UnsupportedOp):
+                sess.call(backend.peer_put(0, 1024, None, 0))
+
+    def test_remote_advertises_the_fabric(self, rig):
+        cluster, sess = rig
+        caps = make_backend("remote", cluster, sess).capabilities()
+        assert caps.peer_put and caps.streams and caps.fabric
+
+    def test_wrapper_masks_delegate_capabilities(self, rig):
+        # The failover wrapper replays ops from host shadows; the native
+        # fabric path would bypass that, so the wrapper must not
+        # advertise it even though its delegate does.
+        cluster, sess = rig
+        resilient = make_backend("resilient", cluster, sess)
+        assert resilient._ac.capabilities().peer_put
+        assert not resilient.capabilities().peer_put
+
+    def test_local_peer_put_stages_instead_of_raising(self, rig):
+        # A capable peer gets the degraded two-hop path; only a peer
+        # without memcpy_h2d is a typed UnsupportedOp.
+        cluster, sess = rig
+        local = make_backend("local", cluster, sess)
+        data = np.arange(96, dtype=np.float64)
+        src = sess.call(local.mem_alloc(data.nbytes))
+        dst = sess.call(local.mem_alloc(data.nbytes))
+        sess.call(local.memcpy_h2d(src, data))
+        sess.call(local.peer_put(src, data.nbytes, local, dst))
+        out = sess.call(local.memcpy_d2h(dst, data.nbytes))
+        np.testing.assert_array_equal(out, data)
+
+    def test_resilient_fallback_reaches_a_remote_peer(self, rig):
+        cluster, sess = rig
+        a = make_backend("resilient", cluster, sess)
+        b = cluster.remote(0, sess.call(
+            cluster.arm_client(0).alloc(count=1, job="peer-b"))[0])
+        data = np.arange(128, dtype=np.float64)
+        src = sess.call(a.mem_alloc(data.nbytes))
+        dst = sess.call(b.mem_alloc(data.nbytes))
+        sess.call(a.memcpy_h2d(src, data))
+        sess.call(a.peer_put(src, data.nbytes, b, dst))
+        out = sess.call(b.memcpy_d2h(dst, data.nbytes))
+        np.testing.assert_array_equal(out, data)
+
+
+class TestPeerPutSignatureShim:
+    def _pair(self, cluster, sess):
+        a = make_backend("remote", cluster, sess)
+        b = cluster.remote(0, sess.call(
+            cluster.arm_client(0).alloc(count=1, job="shim-peer"))[0])
+        data = np.arange(64, dtype=np.float64)
+        src = sess.call(a.mem_alloc(data.nbytes))
+        dst = sess.call(b.mem_alloc(data.nbytes))
+        sess.call(a.memcpy_h2d(src, data))
+        return a, b, src, dst, data
+
+    def test_legacy_positional_transfer_warns_and_works(self, rig):
+        cluster, sess = rig
+        a, b, src, dst, data = self._pair(cluster, sess)
+        with pytest.warns(DeprecationWarning, match="transfer"):
+            sess.call(a.peer_put(src, data.nbytes, b, dst, None))
+        out = sess.call(b.memcpy_d2h(dst, data.nbytes))
+        np.testing.assert_array_equal(out, data)
+
+    def test_keyword_transfer_does_not_warn(self, rig, recwarn):
+        cluster, sess = rig
+        a, b, src, dst, data = self._pair(cluster, sess)
+        sess.call(a.peer_put(src, data.nbytes, b, dst, transfer=None))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_too_many_positionals_is_a_type_error(self, rig):
+        cluster, sess = rig
+        a, b, src, dst, data = self._pair(cluster, sess)
+        with pytest.raises(TypeError, match="4 positional"):
+            sess.call(a.peer_put(src, data.nbytes, b, dst, None, True))
+
+    def test_positional_and_keyword_transfer_conflict(self, rig):
+        cluster, sess = rig
+        a, b, src, dst, data = self._pair(cluster, sess)
+        from repro.core import DEFAULT_TRANSFER
+        with pytest.warns(DeprecationWarning, match="transfer"):
+            with pytest.raises(TypeError, match="both"):
+                sess.call(a.peer_put(src, data.nbytes, b, dst,
+                                     DEFAULT_TRANSFER,
+                                     transfer=DEFAULT_TRANSFER))

@@ -633,3 +633,163 @@ def assert_chaos_replay_identical(scenario, seed: int = 0, **overrides):
         assert getattr(first, field) == getattr(second, field), (
             f"{first.scenario}: {field} diverged between replays")
     return first
+
+
+# ---------------------------------------------------------------------------
+# Peer-transfer programs: the P2P data plane's A/B identity oracle.
+#
+# A seeded sequence of uploads and whole-buffer device→device transfers,
+# run twice — once over the direct daemon→daemon ``peer_put`` path and
+# once over the staged two-hop path through the compute node.  Both must
+# produce bit-identical downloaded bytes (and match a plain byte-level
+# host oracle); the P2P plane may only change *times*, never values.
+# ---------------------------------------------------------------------------
+
+#: Buffer byte sizes for peer programs: sub-block and multi-block
+#: pipeline transfers (peer forwarding reuses the H2D pipeline).
+PEER_SIZES = (512, 4096, 24_576, 65_536)
+
+
+def generate_peer_program(seed: int, n_ops: int = 16,
+                          n_devices: int = 3) -> list[Instr]:
+    """A random, well-formed peer-transfer program (pure in ``seed``).
+
+    ==============  ====================================================
+    op              args
+    ==============  ====================================================
+    ``alloc_peer``  (dev, buf, nbytes)
+    ``h2d_peer``    (dev, buf, payload)
+    ``put``         (src_dev, src_buf, dst_dev, dst_buf, nbytes)
+    ``d2h_peer``    (dev, buf, nbytes)
+    ==============  ====================================================
+
+    Transfers move whole buffers between equal-size allocations (the
+    daemon's ``PEER_PUT`` path copies allocations from offset 0), and
+    every buffer is uploaded before it can be a transfer source, so the
+    byte oracle is always defined.
+    """
+    rng = np.random.default_rng(seed)
+    prog: list[Instr] = []
+    #: (dev, buf) -> nbytes, for buffers with defined contents.
+    live: dict[tuple[int, int], int] = {}
+    next_buf = 0
+
+    def alloc() -> tuple[int, int]:
+        nonlocal next_buf
+        dev = int(rng.integers(n_devices))
+        buf = next_buf
+        next_buf += 1
+        nbytes = int(rng.choice(PEER_SIZES))
+        prog.append(Instr("alloc_peer", (dev, buf, nbytes)))
+        payload = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+        prog.append(Instr("h2d_peer", (dev, buf, payload)))
+        live[(dev, buf)] = nbytes
+        return dev, buf
+
+    alloc()
+    alloc()
+    for _ in range(n_ops):
+        choice = rng.random()
+        if choice < 0.25:
+            alloc()
+        elif choice < 0.75:
+            src = sorted(live)[int(rng.integers(len(live)))]
+            peers = [k for k, n in live.items()
+                     if n == live[src] and k != src and k[0] != src[0]]
+            if peers:
+                dst = peers[int(rng.integers(len(peers)))]
+            else:  # no equal-size peer elsewhere: make one
+                dev = int((src[0] + 1 + rng.integers(n_devices - 1))
+                          % n_devices)
+                buf = next_buf
+                next_buf += 1
+                prog.append(Instr("alloc_peer", (dev, buf, live[src])))
+                live[(dev, buf)] = live[src]
+                dst = (dev, buf)
+            prog.append(Instr("put", (src[0], src[1], dst[0], dst[1],
+                                      live[src])))
+        else:
+            dev, buf = sorted(live)[int(rng.integers(len(live)))]
+            prog.append(Instr("d2h_peer", (dev, buf, live[(dev, buf)])))
+    for dev, buf in sorted(live):
+        prog.append(Instr("d2h_peer", (dev, buf, live[(dev, buf)])))
+    return prog
+
+
+def expected_peer_results(program: list[Instr]) -> list[bytes]:
+    """Byte-level host oracle for a peer program."""
+    bufs: dict[tuple[int, int], bytearray] = {}
+    results: list[bytes] = []
+    for ins in program:
+        if ins.op == "alloc_peer":
+            dev, buf, nbytes = ins.args
+            bufs[(dev, buf)] = bytearray(nbytes)
+        elif ins.op == "h2d_peer":
+            dev, buf, payload = ins.args
+            bufs[(dev, buf)][:] = _payload_bytes(payload)
+        elif ins.op == "put":
+            sd, sb, dd, db, nbytes = ins.args
+            bufs[(dd, db)][:nbytes] = bufs[(sd, sb)][:nbytes]
+        elif ins.op == "d2h_peer":
+            dev, buf, nbytes = ins.args
+            results.append(bytes(bufs[(dev, buf)][:nbytes]))
+    return results
+
+
+def run_peer_program(engine, acs, program: list[Instr], mode: str):
+    """Drive a peer program over the chosen transport (generator).
+
+    ``mode="p2p"`` transfers via :meth:`peer_put`; ``mode="staged"``
+    stages every transfer through the host (D2H then H2D) — the oracle
+    path the P2P plane must match bit for bit.
+    """
+    addrs: dict[tuple[int, int], int] = {}
+    results: list[bytes] = []
+    trace: list[tuple[float, str]] = []
+    for ins in program:
+        if ins.op == "alloc_peer":
+            dev, buf, nbytes = ins.args
+            addrs[(dev, buf)] = yield from acs[dev].mem_alloc(nbytes)
+        elif ins.op == "h2d_peer":
+            dev, buf, payload = ins.args
+            yield from acs[dev].memcpy_h2d(addrs[(dev, buf)], payload)
+        elif ins.op == "put":
+            sd, sb, dd, db, nbytes = ins.args
+            if mode == "p2p":
+                yield from acs[sd].peer_put(addrs[(sd, sb)], nbytes,
+                                            acs[dd], addrs[(dd, db)])
+            else:
+                data = yield from acs[sd].memcpy_d2h(addrs[(sd, sb)], nbytes)
+                yield from acs[dd].memcpy_h2d(addrs[(dd, db)], data)
+        elif ins.op == "d2h_peer":
+            dev, buf, nbytes = ins.args
+            out = yield from acs[dev].memcpy_d2h(addrs[(dev, buf)], nbytes)
+            results.append(np.asarray(out).tobytes())
+        trace.append((engine.now, ins.op))
+    return RunOutcome(results, trace)
+
+
+def run_peer_modes(seed: int, n_ops: int = 16, n_devices: int = 3,
+                   topology=None):
+    """One seeded peer program over both transports on fresh clusters.
+
+    Returns ``(expected, {"p2p": RunOutcome, "staged": RunOutcome})``.
+    ``topology`` is an optional :class:`~repro.netsim.TopologySpec`, so
+    the same oracle covers single-switch and multi-switch fabrics.
+    """
+    from repro.cluster import ClusterSpec
+    from repro.core.protocol import reset_request_ids
+
+    program = generate_peer_program(seed, n_ops, n_devices)
+    expected = expected_peer_results(program)
+    outcomes: dict[str, RunOutcome] = {}
+    for mode in ("p2p", "staged"):
+        reset_request_ids()
+        cluster = Cluster(ClusterSpec(n_compute=1, n_accelerators=n_devices,
+                                      topology=topology))
+        sess = cluster.session()
+        handles = sess.call(cluster.arm_client(0).alloc(count=n_devices))
+        acs = [cluster.remote(0, h) for h in handles]
+        outcomes[mode] = sess.call(
+            run_peer_program(cluster.engine, acs, program, mode))
+    return expected, outcomes
