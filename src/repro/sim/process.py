@@ -28,15 +28,24 @@ class Process(Event):
     runs before ``engine.run()``).
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_send", "_throw", "_target", "name", "shard")
 
-    def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str | None = None):
+    def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str | None = None,
+                 shard: int | None = None):
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
             raise SimulationError(f"Process needs a generator, got {gen!r}")
         super().__init__(engine)
         self._gen = gen
+        # Bound methods cached once: _resume runs once per event on the
+        # hot path and the attribute chain is measurable there.
+        self._send = gen.send
+        self._throw = gen.throw
         self._target: Event | None = None
         self.name = name or getattr(gen, "__name__", "process")
+        #: Shard this process executes on (inherited from the shard active
+        #: when it was created, unless pinned explicitly).  On a plain
+        #: engine this is always 0.
+        self.shard = engine._active_shard if shard is None else shard
         # Kick off via an immediately-succeeding event so execution order is
         # controlled by the engine, not by construction order.
         start = Event(engine)
@@ -76,7 +85,14 @@ class Process(Event):
         if event is not self._target:
             return  # stale wake-up (process was interrupted meanwhile)
         self._target = None
-        send = self._gen.send
+        engine = self.engine
+        if engine._sharded and engine._active_shard != self.shard:
+            # The wake-up crossed a partition boundary: record it and make
+            # this process's shard the scheduling context, so events it
+            # creates while running land on its own shard's heap.
+            engine._note_crossing(engine._active_shard, self.shard)
+            engine._switch_shard(self.shard)
+        send = self._send
         while True:
             try:
                 # Hot path: read the event slots directly (the property
@@ -84,7 +100,7 @@ class Process(Event):
                 if event._ok:
                     target = send(event._value)
                 else:
-                    target = self._gen.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return

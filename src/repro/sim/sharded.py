@@ -1,0 +1,882 @@
+"""Sharded event engine with conservative lookahead synchronization.
+
+The single :class:`~repro.sim.engine.Engine` tops out at a fixed number of
+events per host second, which caps how much virtual hardware one run can
+simulate.  This module partitions a simulation into *shards* — one event
+heap (plus timer slot pools) per accelerator/compute node group — with
+conservative lookahead synchronization across shard boundaries: fabric
+link latency is the natural lookahead window, so a shard may safely
+advance to ``min(neighbor clock + link latency)`` before it must wait.
+
+Three execution modes share one wire protocol:
+
+``merge`` (the oracle)
+    :meth:`ShardedEngine.run`.  Every shard keeps its own heap, pools,
+    and dead-entry accounting, but events are processed in global
+    ``(time, seq)`` order across all heaps — provably the exact order a
+    single engine would use, because the sequence counter is shared and
+    the per-shard heaps partition the same event multiset.  Sharded
+    cluster runs in this mode are **bit-identical** to single-engine
+    runs by construction; the mode exists to prove the partition itself
+    (shard pinning, crossing accounting, channel routing) perturbs
+    nothing, and it is the only mode the shared-object cluster graph may
+    use (its shards exchange arbitrary Python references, so they cannot
+    be executed out of global order safely).
+
+``rounds`` (cooperative conservative execution)
+    :meth:`ShardedEngine.run_rounds`.  Shards advance in deterministic
+    round-robin batches: each round a shard processes every local event
+    strictly below its safe horizon in one tight loop.  Requires the
+    workload to be *channel-confined* — cross-shard interaction only
+    through :meth:`ShardContext.send`, which enforces the declared
+    lookahead.  Idle shards advance their clocks by explicit null ticks;
+    zero-latency links fall back to a global same-timestamp merge tick.
+    An un-channelled cross-shard wake-up raises instead of corrupting
+    the batch.
+
+``multiprocess``
+    :func:`run_multiprocess`.  The same conservative round protocol, but
+    each shard owns a real :class:`Engine` in a ``spawn``-ed worker
+    process and the coordinator exchanges :class:`WireMessage` batches
+    over pipes.  Requires strictly positive lookahead on every link and
+    picklable :class:`ShardProgram` objects.
+
+:func:`run_single_reference` executes the same channel-confined programs
+on one engine, giving the 1-shard oracle the equivalence tests compare
+``rounds`` and ``multiprocess`` executions against.
+
+Same-timestamp determinism across modes rests on two rules: (a) within
+one shard, local events keep their creation order (the engine sequence
+counter), and (b) channel deliveries are pushed with a sort key in a
+dedicated band above every local sequence number —
+``(time, _DELIVERY_BASE + src * _SENDER_STRIDE + sender_seq)`` — so a
+delivery always sorts after local events at the same instant and
+same-time deliveries order by ``(src, sender_seq)``.  Both components of
+that key are mode-invariant (each sender's emission order is fixed by
+its own shard's deterministic execution), which is what lets the three
+executions replay identical per-shard histories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing as _t
+
+from ..errors import SimulationError
+from .engine import Engine
+from .events import Deadline, Event, Timeout
+
+__all__ = [
+    "Shard",
+    "ShardedEngine",
+    "ShardContext",
+    "ShardProgram",
+    "TimerChurnProgram",
+    "WireMessage",
+    "run_cooperative",
+    "run_multiprocess",
+    "run_single_reference",
+]
+
+_INF = float("inf")
+
+#: Channel deliveries sort in their own key band above all local events
+#: (see module docstring).  2**60 leaves ~10^18 local sequence numbers.
+_DELIVERY_BASE = 1 << 60
+_SENDER_STRIDE = 1 << 30
+
+
+class Shard:
+    """Per-shard event-loop state: heap, slot pools, clock, accounting."""
+
+    __slots__ = ("id", "name", "heap", "n_dead", "deadline_pool",
+                 "timeout_pool", "clock", "processed")
+
+    def __init__(self, shard_id: int, name: str | None = None):
+        self.id = shard_id
+        self.name = name or f"shard{shard_id}"
+        self.heap: list[tuple[float, int, Event]] = []
+        self.n_dead = 0
+        #: Slot pools are *shard-local* on purpose: a cancelled deadline
+        #: may still sit (lazily deleted) in its own shard's heap, and
+        #: recycling it from another shard would re-arm an object whose
+        #: stale heap entry could then fire spuriously.
+        self.deadline_pool: list[Deadline] = []
+        self.timeout_pool: list[Timeout] = []
+        self.clock = 0.0
+        self.processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Shard {self.name} t={self.clock:.9f} "
+                f"queued={len(self.heap) - self.n_dead}>")
+
+
+class ShardedEngine(Engine):
+    """An :class:`Engine` whose event queue is partitioned into shards.
+
+    Drop-in compatible with the single engine: the whole simulation
+    object graph is built against one ``ShardedEngine``, processes are
+    pinned to shards (see :meth:`Engine.shard_scope` and the ``shard``
+    argument of :meth:`Engine.process`), and :meth:`run` executes the
+    deterministic global merge described in the module docstring.
+
+    ``lookahead_s`` declares the minimum cross-shard scheduling latency
+    (uniform, or per directed pair via :meth:`set_link_lookahead`) —
+    for a simulated cluster this is the fabric trunk latency.
+    """
+
+    def __init__(self, shards: int = 1, lookahead_s: float = 0.0,
+                 names: _t.Sequence[str] | None = None):
+        if shards < 1:
+            raise SimulationError(f"need at least one shard, got {shards}")
+        super().__init__()
+        self._sharded = True
+        self._shards: list[Shard] = [
+            Shard(i, names[i] if names else None) for i in range(shards)]
+        # Shard 0 owns the Engine-inherited containers, so everything
+        # scheduled before the first context switch lands there.
+        s0 = self._shards[0]
+        s0.heap = self._heap
+        s0.deadline_pool = self._deadline_pool
+        s0.timeout_pool = self._timeout_pool
+        if lookahead_s < 0:
+            raise SimulationError(f"negative lookahead: {lookahead_s!r}")
+        self._lookahead_default = float(lookahead_s)
+        self._lookahead: dict[tuple[int, int], float] = {}
+        #: Cross-shard process wake-ups, per ``(src, dst)`` pair.
+        self.crossings: dict[tuple[int, int], int] = {}
+        #: Null-message clock advances taken by idle shards (rounds mode).
+        self.null_ticks = 0
+        #: Same-timestamp global merge fallbacks (zero-latency links).
+        self.merge_ticks = 0
+        self._shard_mode = "merge"
+
+    # -- topology ------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def total_processed(self) -> int:
+        """Events processed across all shards (any mode)."""
+        return sum(s.processed for s in self._shards)
+
+    def set_link_lookahead(self, src: int, dst: int, latency_s: float) -> None:
+        """Declare the minimum delay of ``src``→``dst`` cross-shard events."""
+        if latency_s < 0:
+            raise SimulationError(f"negative lookahead: {latency_s!r}")
+        self._check_shard(src)
+        self._check_shard(dst)
+        self._lookahead[(src, dst)] = float(latency_s)
+
+    def lookahead(self, src: int, dst: int) -> float:
+        return self._lookahead.get((src, dst), self._lookahead_default)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < len(self._shards):
+            raise SimulationError(
+                f"shard {shard} out of range 0..{len(self._shards) - 1}")
+
+    # -- context switching ---------------------------------------------
+    def _switch_shard(self, shard: int) -> None:
+        active = self._active_shard
+        if shard == active:
+            return
+        self._check_shard(shard)
+        old = self._shards[active]
+        old.n_dead = self._n_dead
+        new = self._shards[shard]
+        # The list objects themselves are shared between engine attrs and
+        # the shard structs (engine code only ever mutates them in
+        # place), so switching is pure alias rebinding plus the scalar
+        # dead-entry counter.
+        self._heap = new.heap
+        self._n_dead = new.n_dead
+        self._deadline_pool = new.deadline_pool
+        self._timeout_pool = new.timeout_pool
+        self._active_shard = shard
+
+    def _note_crossing(self, src: int, dst: int) -> None:
+        """A process pinned to ``dst`` was woken from ``src``'s context."""
+        if self._shard_mode == "rounds":
+            raise SimulationError(
+                f"cross-shard wake-up shard{src}->shard{dst} outside a "
+                f"channel during round execution; batched shards may only "
+                f"interact through ShardContext.send")
+        key = (src, dst)
+        self.crossings[key] = self.crossings.get(key, 0) + 1
+
+    def crossing_count(self) -> int:
+        """Total cross-shard process wake-ups observed so far."""
+        return sum(self.crossings.values())
+
+    # -- shared plumbing ------------------------------------------------
+    def _note_dead_on(self, shard: int) -> None:
+        """Count a cancelled entry against the heap that actually holds it.
+
+        ``Event._scheduled`` stores ``shard + 1`` at push time, so a
+        cancel issued from another shard's context still charges the
+        right heap (the single engine maps everything to shard 0 and
+        keeps its historical behaviour).
+        """
+        if shard == self._active_shard:
+            self._note_dead()
+            return
+        s = self._shards[shard]
+        s.n_dead += 1
+        heap = s.heap
+        if len(heap) >= self.COMPACT_MIN and s.n_dead * 2 > len(heap):
+            live = []
+            for entry in heap:
+                if entry[2]._cancelled:
+                    self._retire_to(s, entry[2])
+                else:
+                    live.append(entry)
+            heap[:] = live
+            heapq.heapify(heap)
+            s.n_dead = 0
+
+    def _retire_to(self, s: Shard, event: Event) -> None:
+        """Shard-local twin of :meth:`Engine._retire`."""
+        event._scheduled = False
+        if not getattr(event, "_poolable", False):
+            return
+        cls = type(event)
+        if cls is Deadline:
+            if len(s.deadline_pool) < self.POOL_MAX:
+                s.deadline_pool.append(event)
+        elif cls is Timeout:
+            if len(s.timeout_pool) < self.POOL_MAX:
+                s.timeout_pool.append(event)
+
+    def _peek_live(self, s: Shard) -> tuple[float, int, Event] | None:
+        """Head live entry of one shard's heap (cleaning cancelled heads)."""
+        active = s.id == self._active_shard
+        if active:
+            s.n_dead = self._n_dead
+        heap = s.heap
+        while heap and heap[0][2]._cancelled:
+            _, _, event = heapq.heappop(heap)
+            s.n_dead -= 1
+            self._retire_to(s, event)
+        if active:
+            self._n_dead = s.n_dead
+        return heap[0] if heap else None
+
+    # -- Engine interface overrides -------------------------------------
+    def peek(self) -> float:
+        entries = [e for e in map(self._peek_live, self._shards)
+                   if e is not None]
+        return min(entries)[0] if entries else _INF
+
+    @property
+    def queued(self) -> int:
+        self._shards[self._active_shard].n_dead = self._n_dead
+        return sum(len(s.heap) - s.n_dead for s in self._shards)
+
+    def step(self) -> None:
+        if not self._merge_step():
+            raise SimulationError("step() on an empty event queue")
+
+    def _merge_step(self) -> bool:
+        """Process the globally next ``(time, key)`` event; False if none."""
+        best_shard: Shard | None = None
+        best_entry: tuple[float, int, Event] | None = None
+        for s in self._shards:
+            entry = self._peek_live(s)
+            if entry is not None and (best_entry is None
+                                      or entry[:2] < best_entry[:2]):
+                best_shard, best_entry = s, entry
+        if best_shard is None:
+            return False
+        self._process_head(best_shard, best_entry)
+        return True
+
+    def _process_head(self, s: Shard, entry: tuple[float, int, Event]) -> None:
+        if s.id != self._active_shard:
+            self._switch_shard(s.id)
+        heapq.heappop(self._heap)
+        event = entry[2]
+        event._scheduled = False
+        self.now = entry[0]
+        if entry[0] > s.clock:
+            s.clock = entry[0]
+        s.processed += 1
+        event._process()
+
+    def run(self, until: Event | float | None = None) -> _t.Any:
+        """Deterministic global-merge execution (single-engine order)."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._shard_mode = "merge"
+        try:
+            if until is None:
+                while self._merge_step():
+                    pass
+                return None
+            if isinstance(until, Event):
+                stop = until
+                while not stop._processed:
+                    if not self._merge_step():
+                        raise SimulationError(
+                            "deadlock: event queue empty before 'until' "
+                            "event fired")
+                if not stop.ok:
+                    raise stop.value
+                return stop.value
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError(
+                    f"cannot run until {horizon}, clock already at {self.now}")
+            while True:
+                best_shard: Shard | None = None
+                best_entry: tuple[float, int, Event] | None = None
+                for s in self._shards:
+                    entry = self._peek_live(s)
+                    if entry is not None and (best_entry is None
+                                              or entry[:2] < best_entry[:2]):
+                        best_shard, best_entry = s, entry
+                if best_shard is None or best_entry[0] > horizon:
+                    break
+                self._process_head(best_shard, best_entry)
+            self.now = horizon
+            for s in self._shards:
+                s.clock = max(s.clock, horizon)
+            return None
+        finally:
+            self._running = False
+
+    # -- conservative round execution -----------------------------------
+    def safe_horizon(self, shard: int) -> float:
+        """How far ``shard`` may advance before a neighbour could still
+        send it an event: ``min over others (their clock + lookahead)``."""
+        horizon = _INF
+        for o in self._shards:
+            if o.id == shard:
+                continue
+            bound = o.clock + self.lookahead(o.id, shard)
+            if bound < horizon:
+                horizon = bound
+        return horizon
+
+    def run_rounds(self, until: float | None = None,
+                   record: bool = False) -> list[tuple] | None:
+        """Cooperative conservative execution in deterministic rounds.
+
+        Each lap, every shard (ascending id) batch-processes all local
+        events strictly below its safe horizon.  When a lap does no real
+        work, idle clocks null-tick forward to the next global event
+        time; if clocks cannot advance at all (zero-latency links), one
+        global same-timestamp merge tick breaks the tie in ``(time,
+        key)`` order.  Requires channel-confined workloads (see module
+        docstring).
+
+        With ``record=True`` returns the causality log: one
+        ``(shard, event_time, horizon, clocks_before)`` row per batch,
+        which the property tests assert lookahead safety against.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._shard_mode = "rounds"
+        log: list[tuple] | None = [] if record else None
+        shards = self._shards
+        try:
+            while True:
+                batched = False
+                for s in shards:
+                    horizon = self.safe_horizon(s.id)
+                    if until is not None and horizon > until:
+                        horizon = until
+                    if horizon <= s.clock:
+                        continue
+                    head = self._peek_live(s)
+                    if head is not None and head[0] < horizon:
+                        if log is not None:
+                            log.append((s.id, head[0], horizon,
+                                        tuple(o.clock for o in shards)))
+                        self._run_shard_batch(s, horizon)
+                        batched = True
+                    elif horizon != _INF:
+                        s.clock = horizon
+                        self.null_ticks += 1
+                if until is not None and all(s.clock >= until
+                                             for s in shards):
+                    break
+                if batched:
+                    continue
+                # No real work this lap: jump straight to the next
+                # global event time (the explicit null-message tick) or,
+                # if clocks are already there (zero-latency tie), run a
+                # deterministic same-timestamp merge tick.
+                heads = [e for e in map(self._peek_live, shards)
+                         if e is not None]
+                if not heads:
+                    break
+                t = min(h[0] for h in heads)
+                if until is not None and t > until:
+                    break
+                if any(s.clock < t for s in shards):
+                    for s in shards:
+                        if s.clock < t:
+                            s.clock = t
+                            self.null_ticks += 1
+                    continue
+                self.merge_ticks += 1
+                while True:
+                    entry = None
+                    owner = None
+                    for s in shards:
+                        head = self._peek_live(s)
+                        if head is not None and head[0] == t and (
+                                entry is None or head[:2] < entry[:2]):
+                            entry, owner = head, s
+                    if entry is None:
+                        break
+                    self._process_head(owner, entry)
+            if until is not None:
+                for s in shards:
+                    s.clock = max(s.clock, until)
+                self.now = max(self.now, until)
+            return log
+        finally:
+            self._shard_mode = "merge"
+            self._running = False
+
+    def _run_shard_batch(self, s: Shard, limit: float) -> None:
+        """Drain one shard's events with ``t < limit`` in a tight loop.
+
+        This is the throughput path: within the safe window the shard
+        needs no merge decisions, so the loop is the single engine's
+        fast loop with :meth:`Event._process` inlined and no ``until``
+        bookkeeping — the structural win conservative lookahead buys.
+        """
+        self._switch_shard(s.id)
+        if self.now < s.clock:
+            self.now = s.clock
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
+        while heap:
+            entry = heap[0]
+            if entry[0] >= limit:
+                break
+            heappop(heap)
+            event = entry[2]
+            if event._cancelled:
+                self._n_dead -= 1
+                self._retire(event)
+                continue
+            event._scheduled = False
+            self.now = entry[0]
+            # Event._process inlined (minus the _cancelled re-check the
+            # pop above already performed).
+            event._processed = True
+            callbacks = event.callbacks
+            if callbacks is not None:
+                for cb in callbacks:
+                    cb(event)
+                callbacks.clear()
+            processed += 1
+        s.processed += processed
+        s.clock = limit if limit != _INF else self.now
+
+
+# ---------------------------------------------------------------------------
+# Channel-confined shard programs: the workload shape rounds/multiprocess
+# execution can run out of global order, plus the shared wire protocol.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WireMessage:
+    """One cross-shard event on the wire (all execution modes).
+
+    ``seq`` is the per-sender emission index; together with ``src`` it
+    forms the mode-invariant part of the delivery sort key, fixing the
+    merge order of same-timestamp cross-shard events independently of
+    host timing or batch interleaving.
+    """
+
+    time: float
+    src: int
+    dst: int
+    seq: int
+    tag: str
+    payload: _t.Any = None
+
+
+class ShardContext:
+    """What a :class:`ShardProgram` sees: its engine, id, and channel."""
+
+    def __init__(self, engine: Engine, shard: int, n_shards: int,
+                 send: _t.Callable[[int, float, str, _t.Any], None],
+                 lookahead: _t.Callable[[int, int], float]):
+        self.engine = engine
+        self.shard = shard
+        self.n_shards = n_shards
+        self._send = send
+        self._lookahead = lookahead
+        self._handler: _t.Callable[[float, str, _t.Any], None] | None = None
+        #: Observable history: ``(virtual_time, tag, payload)`` rows.
+        self.logs: list[tuple[float, str, _t.Any]] = []
+
+    def log(self, tag: str, payload: _t.Any = None) -> None:
+        self.logs.append((self.engine.now, tag, payload))
+
+    def send(self, dst: int, delay: float, tag: str,
+             payload: _t.Any = None) -> None:
+        """Send a cross-shard event, delivered ``delay`` from now.
+
+        ``delay`` must respect the declared lookahead of the link — that
+        promise is exactly what lets the destination shard run ahead.
+        """
+        if dst == self.shard:
+            raise SimulationError("channel send to the local shard")
+        minimum = self._lookahead(self.shard, dst)
+        if delay < minimum:
+            raise SimulationError(
+                f"channel send shard{self.shard}->shard{dst} with delay "
+                f"{delay!r} below the declared lookahead {minimum!r}")
+        self._send(dst, delay, tag, payload)
+
+    def on_message(self,
+                   handler: _t.Callable[[float, str, _t.Any], None]) -> None:
+        """Register the inbound handler ``(time, tag, payload) -> None``."""
+        self._handler = handler
+
+    def _dispatch(self, time: float, tag: str, payload: _t.Any) -> None:
+        if self._handler is not None:
+            self._handler(time, tag, payload)
+
+
+class ShardProgram:
+    """Base class for channel-confined shard workloads.
+
+    Subclasses implement :meth:`setup`, spawning processes and wiring
+    :meth:`ShardContext.on_message`.  Instances must be picklable to run
+    under :func:`run_multiprocess`.
+    """
+
+    def setup(self, ctx: ShardContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class TimerChurnProgram(ShardProgram):
+    """The engine's leanest cycle, shard-local, with periodic channel
+    pings: ``n`` timer waits spaced ``spacing_s`` apart; every
+    ``ping_every`` waits, send a ping to the next shard ``ping_delay_s``
+    ahead.  Received pings are logged, so the equivalence digests cover
+    the cross-shard path as well as local ordering."""
+
+    def __init__(self, n: int, spacing_s: float = 1e-6,
+                 ping_every: int = 0, ping_delay_s: float = 1e-3):
+        self.n = n
+        self.spacing_s = spacing_s
+        self.ping_every = ping_every
+        self.ping_delay_s = ping_delay_s
+
+    def setup(self, ctx: ShardContext) -> None:
+        engine = ctx.engine
+
+        def churn():
+            for i in range(self.n):
+                yield Timeout(engine, self.spacing_s)
+                if (self.ping_every and ctx.n_shards > 1
+                        and i % self.ping_every == 0):
+                    ctx.send((ctx.shard + 1) % ctx.n_shards,
+                             self.ping_delay_s, "ping", (ctx.shard, i))
+            ctx.log("done", self.n)
+
+        engine.process(churn(), name=f"churn{ctx.shard}")
+        ctx.on_message(lambda t, tag, payload: ctx.log(tag, payload))
+
+
+def _delivery_key(src: int, sender_seq: int) -> int:
+    return _DELIVERY_BASE + src * _SENDER_STRIDE + sender_seq
+
+
+def _deliver(engine: Engine, heap: list, shard_id: int, time: float,
+             key: int, ctx: ShardContext, tag: str,
+             payload: _t.Any) -> None:
+    """Push a channel delivery event onto a specific shard heap."""
+    event = Event(engine)
+    event._ok = True
+    event._value = None
+    event.callbacks = [lambda _ev, t=time, g=tag, p=payload:
+                       ctx._dispatch(t, g, p)]
+    event._scheduled = shard_id + 1
+    heapq.heappush(heap, (time, key, event))
+
+
+def _make_contexts(engine: Engine,
+                   heap_for: _t.Callable[[int], list],
+                   shard_tag_for: _t.Callable[[int], int],
+                   n: int,
+                   lookahead: _t.Callable[[int, int], float]
+                   ) -> list[ShardContext]:
+    """Contexts whose ``send`` delivers in-process with the canonical key."""
+    contexts: list[ShardContext] = []
+    emitted = [0] * n
+    for shard in range(n):
+        def send(dst: int, delay: float, tag: str, payload: _t.Any,
+                 _src: int = shard) -> None:
+            key = _delivery_key(_src, emitted[_src])
+            emitted[_src] += 1
+            _deliver(engine, heap_for(dst), shard_tag_for(dst),
+                     engine.now + delay, key, contexts[dst], tag, payload)
+
+        contexts.append(ShardContext(engine, shard, n, send, lookahead))
+    return contexts
+
+
+def run_cooperative(programs: _t.Sequence[ShardProgram],
+                    lookahead_s: float = 1e-3,
+                    until: float | None = None,
+                    record: bool = False,
+                    lookahead_map: dict[tuple[int, int], float] | None = None,
+                    ) -> tuple[ShardedEngine, list[list[tuple]], list[tuple] | None]:
+    """Run programs on a :class:`ShardedEngine` in rounds mode.
+
+    Returns ``(engine, per-shard logs, causality log)``.
+    """
+    n = len(programs)
+    engine = ShardedEngine(n, lookahead_s=lookahead_s)
+    if lookahead_map:
+        for (src, dst), latency in lookahead_map.items():
+            engine.set_link_lookahead(src, dst, latency)
+    contexts = _make_contexts(
+        engine,
+        lambda dst: engine.shards[dst].heap,
+        lambda dst: dst,
+        n, engine.lookahead)
+    for shard, program in enumerate(programs):
+        with engine.shard_scope(shard):
+            program.setup(contexts[shard])
+    log = engine.run_rounds(until=until, record=record)
+    return engine, [ctx.logs for ctx in contexts], log
+
+
+def run_single_reference(programs: _t.Sequence[ShardProgram],
+                         lookahead_s: float = 1e-3,
+                         until: float | None = None,
+                         lookahead_map: dict[tuple[int, int], float] | None = None,
+                         ) -> tuple[Engine, list[list[tuple]]]:
+    """The 1-engine oracle: same programs, same channel semantics, one heap."""
+    engine = Engine()
+    n = len(programs)
+    lookup = dict(lookahead_map or {})
+
+    def lookahead(src: int, dst: int) -> float:
+        return lookup.get((src, dst), lookahead_s)
+
+    contexts = _make_contexts(
+        engine,
+        lambda dst: engine._heap,
+        lambda dst: 0,
+        n, lookahead)
+    for shard, program in enumerate(programs):
+        program.setup(contexts[shard])
+    engine.run(until=until)
+    return engine, [ctx.logs for ctx in contexts]
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess execution: one worker process per shard, coordinator-driven
+# conservative rounds over pipes, spawn start method pinned.
+# ---------------------------------------------------------------------------
+
+
+def _drain_exclusive(engine: Engine, horizon: float) -> int:
+    """Process every event strictly below ``horizon``; return the count."""
+    n = 0
+    while engine.peek() < horizon:
+        engine.step()
+        n += 1
+    return n
+
+
+def _mp_worker(conn, shard: int, n_shards: int, program: ShardProgram,
+               lookahead_s: float,
+               lookahead_map: dict[tuple[int, int], float],
+               extra_paths: list[str]) -> None:
+    """Worker entry point: one shard engine driven by advance commands."""
+    import sys
+    for path in reversed(extra_paths):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    try:
+        engine = Engine()
+        outbox: list[WireMessage] = []
+        emitted = 0
+
+        def send(dst: int, delay: float, tag: str, payload: _t.Any) -> None:
+            nonlocal emitted
+            outbox.append(WireMessage(engine.now + delay, shard, dst,
+                                      emitted, tag, payload))
+            emitted += 1
+
+        def lookahead(src: int, dst: int) -> float:
+            return lookahead_map.get((src, dst), lookahead_s)
+
+        ctx = ShardContext(engine, shard, n_shards, send, lookahead)
+        program.setup(ctx)
+        processed = 0
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "stop":
+                break
+            _, horizon, deliveries = cmd
+            for msg in deliveries:
+                if msg.time < engine.now - 1e-12:
+                    raise SimulationError(
+                        f"late delivery at {msg.time} behind shard clock "
+                        f"{engine.now} — lookahead protocol violation")
+                _deliver(engine, engine._heap, 0, msg.time,
+                         _delivery_key(msg.src, msg.seq), ctx,
+                         msg.tag, msg.payload)
+            processed += _drain_exclusive(engine, horizon)
+            sends = list(outbox)
+            outbox.clear()
+            conn.send(("round", engine.peek(), sends))
+        conn.send(("logs", ctx.logs, processed))
+    except BaseException as exc:  # surface worker crashes to the parent
+        import traceback
+        try:
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _recv(conn, timeout_s: float, who: str):
+    if not conn.poll(timeout_s):
+        raise SimulationError(f"timed out waiting for {who}")
+    try:
+        reply = conn.recv()
+    except EOFError as exc:
+        raise SimulationError(f"{who} died mid-protocol") from exc
+    if reply[0] == "error":
+        raise SimulationError(f"{who} failed:\n{reply[1]}")
+    return reply
+
+
+def run_multiprocess(programs: _t.Sequence[ShardProgram],
+                     lookahead_s: float = 1e-3,
+                     until: float | None = None,
+                     lookahead_map: dict[tuple[int, int], float] | None = None,
+                     timeout_s: float = 120.0,
+                     max_rounds: int = 100_000,
+                     ) -> tuple[list[list[tuple]], int]:
+    """Run each program in its own spawned worker process.
+
+    Returns ``(per-shard logs, total events processed)``.  Every link's
+    lookahead must be strictly positive — zero-latency pairs must be
+    co-located on one shard before distribution.
+
+    The coordinator runs the conservative round protocol: each round it
+    computes per-shard horizons from neighbour *promises* (a shard
+    cannot emit before its next event or earliest undelivered inbound
+    message), routes pending :class:`WireMessage` batches sorted by the
+    canonical delivery key, and advances every worker to its horizon.
+    """
+    import multiprocessing as mp
+    import sys
+
+    n = len(programs)
+    lookup = dict(lookahead_map or {})
+
+    def lookahead(src: int, dst: int) -> float:
+        return lookup.get((src, dst), lookahead_s)
+
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and lookahead(src, dst) <= 0:
+                raise SimulationError(
+                    f"multiprocess execution needs positive lookahead on "
+                    f"every link; shard{src}->shard{dst} has "
+                    f"{lookahead(src, dst)!r}")
+
+    ctx = mp.get_context("spawn")
+    pipes = [ctx.Pipe() for _ in range(n)]
+    extra_paths = [p for p in sys.path if p]
+    workers = [
+        ctx.Process(target=_mp_worker,
+                    args=(child, shard, n, programs[shard], lookahead_s,
+                          lookup, extra_paths),
+                    daemon=True, name=f"shard{shard}-worker")
+        for shard, (_, child) in enumerate(pipes)]
+    for w in workers:
+        w.start()
+    for _, child in pipes:
+        child.close()
+    conns = [parent for parent, _ in pipes]
+
+    clocks = [0.0] * n
+    next_event = [0.0] * n
+    pending: list[WireMessage] = []
+    logs: list[list[tuple]] = [[] for _ in range(n)]
+    total = 0
+    try:
+        for _round in range(max_rounds):
+            if all(ne == _INF for ne in next_event) and not pending:
+                break
+            if until is not None and all(c >= until for c in clocks):
+                break
+            # A shard cannot emit before it next executes anything: its
+            # next local event or its earliest undelivered inbound.
+            promise = list(next_event)
+            for msg in pending:
+                if msg.time < promise[msg.dst]:
+                    promise[msg.dst] = msg.time
+            for o in range(n):
+                if promise[o] < clocks[o]:
+                    promise[o] = clocks[o]
+            horizons = []
+            for s in range(n):
+                bound = min((promise[o] + lookahead(o, s)
+                             for o in range(n) if o != s), default=_INF)
+                if until is not None and bound > until:
+                    bound = until
+                horizons.append(bound)
+            deliveries: list[list[WireMessage]] = [[] for _ in range(n)]
+            for msg in sorted(pending,
+                              key=lambda m: (m.time, m.src, m.seq)):
+                deliveries[msg.dst].append(msg)
+            pending = []
+            for s in range(n):
+                conns[s].send(("advance", horizons[s], deliveries[s]))
+            for s in range(n):
+                _, ne, sends = _recv(conns[s], timeout_s,
+                                     f"shard{s} worker")
+                next_event[s] = ne
+                pending.extend(sends)
+            clocks = horizons
+        else:
+            raise SimulationError(
+                f"multiprocess coordinator exceeded {max_rounds} rounds "
+                f"(livelock or degenerate lookahead)")
+        for s in range(n):
+            conns[s].send(("stop",))
+        for s in range(n):
+            _, shard_logs, processed = _recv(conns[s], timeout_s,
+                                             f"shard{s} worker logs")
+            logs[s] = shard_logs
+            total += processed
+    finally:
+        for conn in conns:
+            conn.close()
+        for w in workers:
+            w.join(timeout=timeout_s)
+        for w in workers:
+            if w.is_alive():  # pragma: no cover - crash cleanup
+                w.terminate()
+                w.join(timeout=5.0)
+    return logs, total

@@ -1,0 +1,61 @@
+"""Shared test configuration: multiprocess hygiene for sharded runs.
+
+The sharded execution tests spawn real child processes.  Two rules keep
+that surface deterministic and leak-free:
+
+* the ``multiprocessing`` start method is pinned to ``spawn`` — children
+  re-import modules fresh instead of inheriting a forked copy of the
+  parent interpreter (matching what the sharded wire protocol assumes
+  and what macOS/Windows do by default);
+* a session-scoped fixture asserts clean teardown at the end of the
+  run: no live child processes and no accumulated pipe file
+  descriptors.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    multiprocessing.set_start_method("spawn", force=True)
+
+
+def _pipe_fd_count():
+    """Open pipe fds of this process (None where /proc is unavailable)."""
+    fd_dir = "/proc/self/fd"
+    if not os.path.isdir(fd_dir):
+        return None
+    count = 0
+    for name in os.listdir(fd_dir):
+        try:
+            if os.readlink(os.path.join(fd_dir, name)).startswith("pipe:"):
+                count += 1
+        except OSError:
+            continue
+    return count
+
+
+@pytest.fixture(scope="session", autouse=True)
+def assert_clean_shard_teardown():
+    """Every spawned shard worker must be gone when the session ends."""
+    pipes_before = _pipe_fd_count()
+    yield
+    for proc in multiprocessing.active_children():
+        proc.join(timeout=10.0)
+    leaked = [p for p in multiprocessing.active_children() if p.is_alive()]
+    for p in leaked:  # pragma: no cover - only on failure
+        p.terminate()
+        p.join(timeout=5.0)
+    assert not leaked, (
+        f"leaked child processes past session teardown: "
+        f"{[p.name for p in leaked]}")
+    pipes_after = _pipe_fd_count()
+    if pipes_before is not None and pipes_after is not None:
+        # Generous slack for interpreter-internal pipes (e.g. the
+        # multiprocessing resource tracker); catches accumulation, not
+        # incidental bookkeeping fds.
+        assert pipes_after <= pipes_before + 8, (
+            f"pipe fds accumulated over the session: "
+            f"{pipes_before} -> {pipes_after}")

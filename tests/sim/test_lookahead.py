@@ -1,0 +1,181 @@
+"""Property-based tests for conservative lookahead synchronization.
+
+The causality contract of :meth:`ShardedEngine.run_rounds`: a shard may
+only batch events strictly below its safe horizon — the minimum over
+every other shard of (that shard's clock + the declared link lookahead)
+— and horizons only ever move forward.  Randomized shard counts, link
+latency maps, and churn shapes probe the contract; zero-latency links
+must still terminate (through explicit null-message ticks and
+same-timestamp merge ticks) instead of deadlocking.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Event,
+    ShardedEngine,
+    Timeout,
+    TimerChurnProgram,
+    run_cooperative,
+    run_single_reference,
+)
+
+
+def churn_programs(n_shards, n_events, ping_every):
+    return [TimerChurnProgram(n_events, ping_every=ping_every)
+            for _ in range(n_shards)]
+
+
+def lookahead_fn(default, overrides):
+    return lambda src, dst: overrides.get((src, dst), default)
+
+
+#: Randomized per-link latency overrides for an ``n``-shard engine.  All
+#: latencies stay at or below TimerChurnProgram's 1 ms ping delay so the
+#: churn workload's sends always respect the declared lookahead.
+def latency_maps(n):
+    pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+    return st.dictionaries(
+        pair.filter(lambda p: p[0] != p[1]),
+        st.floats(1e-5, 1e-3, allow_nan=False), max_size=n * (n - 1))
+
+
+class TestLookaheadCausality:
+    @given(st.integers(2, 4), st.integers(5, 60), st.integers(2, 9),
+           st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_batches_respect_safe_horizons(self, n, n_events, ping_every,
+                                           data):
+        overrides = data.draw(latency_maps(n))
+        default = data.draw(st.floats(1e-5, 1e-3, allow_nan=False))
+        look = lookahead_fn(default, overrides)
+        programs = churn_programs(n, n_events, ping_every)
+        engine, logs, causality = run_cooperative(
+            programs, lookahead_s=default, lookahead_map=overrides,
+            record=True)
+        assert causality, "rounds execution recorded no batches"
+        for shard, event_time, horizon, clocks in causality:
+            # The batched event lies strictly inside the safe window...
+            assert event_time < horizon
+            # ...and the horizon never exceeded what the other shards'
+            # clocks plus the declared link lookahead guaranteed.
+            bound = min(clocks[o] + look(o, shard)
+                        for o in range(n) if o != shard)
+            assert horizon <= bound + 1e-15
+
+    @given(st.integers(2, 4), st.integers(5, 40), st.integers(2, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_per_shard_horizons_monotone(self, n, n_events, ping_every):
+        programs = churn_programs(n, n_events, ping_every)
+        _, _, causality = run_cooperative(programs, record=True)
+        last: dict[int, float] = {}
+        for shard, _, horizon, _ in causality:
+            assert horizon >= last.get(shard, 0.0), (
+                f"shard {shard} horizon moved backwards")
+            last[shard] = horizon
+
+    @given(st.integers(2, 4), st.integers(5, 40), st.integers(2, 9),
+           st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_rounds_match_single_reference(self, n, n_events, ping_every,
+                                           data):
+        overrides = data.draw(latency_maps(n))
+        programs = churn_programs(n, n_events, ping_every)
+        _, ref_logs = run_single_reference(programs,
+                                           lookahead_map=overrides)
+        _, coop_logs, _ = run_cooperative(programs,
+                                          lookahead_map=overrides)
+        assert coop_logs == ref_logs
+
+
+class TestZeroLatencyLinks:
+    @given(st.integers(2, 4), st.integers(5, 40), st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_lookahead_terminates_and_matches(self, n, n_events,
+                                                   ping_every):
+        """L=0 gives no safe window at all: progress must come from the
+        explicit null-message ticks (clock jumps to the next global event
+        time) and same-timestamp merge ticks, never from batching."""
+        programs = churn_programs(n, n_events, ping_every)
+        _, ref_logs = run_single_reference(programs, lookahead_s=0.0)
+        engine, coop_logs, _ = run_cooperative(programs, lookahead_s=0.0)
+        assert coop_logs == ref_logs
+        assert engine.merge_ticks > 0
+        assert engine.total_processed > 0
+
+    def test_null_ticks_advance_idle_shards(self):
+        """A shard with no events of its own still null-ticks forward, so
+        busy neighbours are never blocked on its frozen clock."""
+        programs = [TimerChurnProgram(50), TimerChurnProgram(0)]
+        engine, _, _ = run_cooperative(programs, lookahead_s=1e-6)
+        assert engine.null_ticks > 0
+        assert engine.shards[1].clock >= engine.shards[0].clock - 1e-6
+
+
+class TestChannelContract:
+    def test_send_below_lookahead_raises(self):
+        class Eager(TimerChurnProgram):
+            def setup(self, ctx):
+                def prog():
+                    yield Timeout(ctx.engine, 1e-6)
+                    ctx.send(1 - ctx.shard, 1e-5, "too-fast", None)
+                ctx.engine.process(prog())
+
+        with pytest.raises(SimulationError, match="below the declared"):
+            run_cooperative([Eager(0), Eager(0)], lookahead_s=1e-3)
+
+    def test_send_to_local_shard_raises(self):
+        class Selfie(TimerChurnProgram):
+            def setup(self, ctx):
+                def prog():
+                    yield Timeout(ctx.engine, 1e-6)
+                    ctx.send(ctx.shard, 1e-3, "loopback", None)
+                ctx.engine.process(prog())
+
+        with pytest.raises(SimulationError, match="local shard"):
+            run_cooperative([Selfie(0), Selfie(0)])
+
+    def test_cross_shard_wakeup_raises_in_rounds_mode(self):
+        """Direct event wake-ups across shards break the lookahead
+        promise, so round execution refuses them loudly instead of
+        silently reordering."""
+        engine = ShardedEngine(2, lookahead_s=1e-3)
+        with engine.shard_scope(0):
+            gate = Event(engine)
+
+            def waiter():
+                yield gate
+
+            engine.process(waiter())
+        with engine.shard_scope(1):
+            def poker():
+                yield Timeout(engine, 1e-6)
+                gate.succeed()
+
+            engine.process(poker())
+        with pytest.raises(SimulationError, match="cross-shard wake-up"):
+            engine.run_rounds()
+
+    def test_cross_shard_wakeup_allowed_in_merge_mode(self):
+        """The same workload is legal under the global-merge oracle."""
+        engine = ShardedEngine(2, lookahead_s=1e-3)
+        woken = []
+        with engine.shard_scope(0):
+            gate = Event(engine)
+
+            def waiter():
+                yield gate
+                woken.append(engine.now)
+
+            engine.process(waiter())
+        with engine.shard_scope(1):
+            def poker():
+                yield Timeout(engine, 1e-6)
+                gate.succeed()
+
+            engine.process(poker())
+        engine.run()
+        assert woken == [1e-6]
+        assert engine.crossing_count() > 0

@@ -1,0 +1,101 @@
+"""Sharded-execution identity: the partitioned engine changes nothing.
+
+Every seeded program family (memcpy, chaos, peer, tenant) must produce
+bit-identical observations — downloaded buffer bytes, sha256 trace
+digests, pool membership events — on a plain :class:`~repro.sim.Engine`
+and on a :class:`~repro.sim.ShardedEngine` at 1, 2, and 4 shards, both
+inside one interpreter and replayed across a spawned process boundary.
+The channel-confined workloads additionally run under all three sharded
+execution modes (merge, rounds, multiprocess) against the single-engine
+reference.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.sim import (
+    ShardedEngine,
+    TimerChurnProgram,
+    run_cooperative,
+    run_multiprocess,
+    run_single_reference,
+)
+
+from ..harness import SHARDED_FAMILIES, run_sharded_modes
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+@pytest.mark.parametrize("family", SHARDED_FAMILIES)
+def test_family_identical_across_shard_counts(family, seed):
+    run_sharded_modes(family, seed=seed, shard_counts=(1, 2, 4))
+
+
+@pytest.mark.timeout(180)
+@pytest.mark.parametrize("family", SHARDED_FAMILIES)
+def test_family_identical_across_process_boundary(family):
+    """The 4-shard replay inside a spawned child matches the reference."""
+    run_sharded_modes(family, seed=2, shard_counts=(4,), multiprocess=True)
+
+
+def test_sharded_cluster_actually_uses_shards():
+    """Engagement check: the identity above is not vacuous.
+
+    A 4-shard cluster really places accelerators on shards 1..3 and the
+    equivalence run really exercises cross-shard wake-ups and work on
+    every populated shard.
+    """
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=4), shards=4)
+    engine = cluster.engine
+    assert isinstance(engine, ShardedEngine)
+    assert set(cluster.shard_of_accelerator.values()) == {1, 2, 3}
+
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=4))
+
+    def drive(ac, fill):
+        addr = yield from ac.mem_alloc(1024)
+        yield from ac.memcpy_h2d(addr, bytes([fill]) * 1024)
+        out = yield from ac.memcpy_d2h(addr, 1024)
+        yield from ac.mem_free(addr)
+        return bytes(out)
+
+    for i, handle in enumerate(handles):
+        got = sess.call(drive(cluster.remote(0, handle), 0x20 + i))
+        assert got == bytes([0x20 + i]) * 1024
+
+    assert engine.crossing_count() > 0, "no cross-shard wake-ups observed"
+    active = [s.id for s in engine.shards if s.processed > 0]
+    assert len(active) >= 4, f"work landed on too few shards: {active}"
+
+
+def test_churn_modes_identical():
+    """merge vs rounds vs single reference on channel-confined programs."""
+    programs = [TimerChurnProgram(60, ping_every=7) for _ in range(3)]
+    _, ref_logs = run_single_reference(programs)
+    engine, coop_logs, _ = run_cooperative(programs)
+    assert coop_logs == ref_logs
+    assert engine.total_processed > 0
+    assert all(s.processed > 0 for s in engine.shards)
+
+    merge_engine = ShardedEngine(3, lookahead_s=1e-3)
+    from repro.sim.sharded import _make_contexts
+    contexts = _make_contexts(
+        merge_engine,
+        lambda dst: merge_engine.shards[dst].heap,
+        lambda dst: dst,
+        3, merge_engine.lookahead)
+    for shard, program in enumerate(programs):
+        with merge_engine.shard_scope(shard):
+            program.setup(contexts[shard])
+    merge_engine.run()
+    assert [ctx.logs for ctx in contexts] == ref_logs
+
+
+@pytest.mark.timeout(180)
+def test_churn_multiprocess_identical():
+    """One worker process per shard reproduces the single-engine logs."""
+    programs = [TimerChurnProgram(40, ping_every=5) for _ in range(3)]
+    _, ref_logs = run_single_reference(programs)
+    mp_logs, total = run_multiprocess(programs)
+    assert mp_logs == ref_logs
+    assert total > 0
