@@ -9,6 +9,9 @@ Usage::
                                 [--check-identity]
     python -m repro tenants [--tenants N] [--accelerators M] [--seed S]
                             [--quick] [--json out.json] [--check-determinism]
+    python -m repro jobs [--jobs N] [--accelerators M] [--gateways G]
+                         [--seed S] [--compare] [--no-coalesce] [--no-cache]
+                         [--quick] [--json out.json] [--check-determinism]
     python -m repro chaos <scenario|all|list> [--quick] [--seed S]
                           [--json out.json] [--check-determinism]
                           [--check EXPECTATIONS.json]
@@ -32,6 +35,14 @@ each scenario twice and asserts bit-identical trace digests;
 ``--check`` gates the scores against checked-in expectation bounds
 (``benchmarks/chaos_expectations.json``; generated with ``--quick``,
 seed 0) — the CI chaos-smoke job runs exactly that.
+
+``jobs`` drives a seeded Pegasus-style ensemble (priorities, tenants,
+DAG dependencies, verified numerics) through the job-service front door
+(:mod:`repro.jobs`) and prints virtual jobs/s, warm-path cache rates,
+and the outcome digest.  ``--compare`` also runs the cold baseline
+(coalescing and caching off) on the same seed, reports the warm-path
+speedup, and asserts the two runs' outcome digests are identical — the
+CI jobs-smoke job runs exactly that and gates on the ≥1.5× speedup.
 
 ``collective`` runs one seeded ring collective (allreduce or broadcast)
 twice — over the P2P device-direct data plane and over the historical
@@ -191,6 +202,82 @@ def run_tenants(args: argparse.Namespace,
     return 0
 
 
+def run_jobs(args: argparse.Namespace,
+             out: _t.TextIO | None = None) -> int:
+    """The ``jobs`` subcommand: the ensemble job-service front door."""
+    from ..workloads import ensemble as _ensemble
+    out = out if out is not None else sys.stdout
+    if args.quick:
+        cfg = _ensemble.EnsembleConfig(
+            n_jobs=min(args.jobs, 64), n_accelerators=4, n_gateways=2,
+            slots_per_device=4, seed=args.seed,
+            coalescing=not args.no_coalesce, caching=not args.no_cache)
+    else:
+        cfg = _ensemble.EnsembleConfig(
+            n_jobs=args.jobs, n_accelerators=args.accelerators,
+            n_gateways=args.gateways, slots_per_device=args.slots,
+            window_s=args.window_ms * 1e-3, seed=args.seed,
+            coalescing=not args.no_coalesce, caching=not args.no_cache,
+            lease_ttl_s=args.ttl_ms * 1e-3)
+    report = _ensemble.run(cfg)
+    out.write(_ensemble.format_report(report) + "\n")
+    if args.check_determinism:
+        again = _ensemble.run(cfg)
+        if again.digest != report.digest:
+            raise SystemExit("jobs: same seed produced a different outcome "
+                             "digest — run is not deterministic")
+        out.write("determinism check passed: same seed, same digest\n")
+    baseline = None
+    if args.compare:
+        baseline = _ensemble.run(dataclasses.replace(
+            cfg, coalescing=False, caching=False))
+        speedup = (report.jobs_per_s / baseline.jobs_per_s
+                   if baseline.jobs_per_s else 0.0)
+        out.write(f"baseline (no coalescing, no caching): "
+                  f"{baseline.jobs_per_s:.0f} jobs/s  "
+                  f"warm-path speedup {speedup:.2f}x\n")
+        if baseline.digest != report.digest:
+            raise SystemExit("jobs: warm paths changed job outcomes — "
+                             "on/off digests differ")
+        out.write("identity check passed: warm paths on/off produce "
+                  "bit-identical outcomes\n")
+    if args.json_path:
+        doc = {
+            "config": dataclasses.asdict(cfg),
+            "submitted": report.submitted,
+            "done": report.done,
+            "failed": report.failed,
+            "cancelled": report.cancelled,
+            "duration_s": report.duration_s,
+            "jobs_per_s": report.jobs_per_s,
+            "utilization": report.utilization,
+            "latency_p50_s": report.latency_p50_s,
+            "latency_p99_s": report.latency_p99_s,
+            "per_tenant": report.per_tenant,
+            "coalesce": report.coalesce,
+            "kernel_cache_hits": report.kernel_cache_hits,
+            "kernel_cache_misses": report.kernel_cache_misses,
+            "kernel_cache_hit_rate": report.kernel_cache_hit_rate,
+            "alloc_cache_hits": report.alloc_cache_hits,
+            "alloc_cache_misses": report.alloc_cache_misses,
+            "alloc_cache_hit_rate": report.alloc_cache_hit_rate,
+            "leases_reused": report.leases_reused,
+            "leases_cold": report.leases_cold,
+            "leases_evicted": report.leases_evicted,
+            "leases_expired": report.leases_expired,
+            "digest": report.digest,
+        }
+        if baseline is not None:
+            doc["baseline_jobs_per_s"] = baseline.jobs_per_s
+            doc["speedup"] = (report.jobs_per_s / baseline.jobs_per_s
+                              if baseline.jobs_per_s else 0.0)
+            doc["digests_match"] = baseline.digest == report.digest
+        with open(args.json_path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        out.write(f"report written to {args.json_path}\n")
+    return 0
+
+
 def run_chaos(args: argparse.Namespace,
               out: _t.TextIO | None = None) -> int:
     """The ``chaos`` subcommand: seeded elasticity/failure scenarios."""
@@ -331,6 +418,35 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                       help="also write the report as JSON")
     tenp.add_argument("--check-determinism", action="store_true",
                       help="run twice and assert bit-identical digests")
+    jobsp = sub.add_parser(
+        "jobs", help="run the ensemble job-service front door")
+    jobsp.add_argument("--jobs", type=int, default=96,
+                       help="ensemble size (default 96)")
+    jobsp.add_argument("--accelerators", type=int, default=4,
+                       help="physical accelerators, 1..8 (default 4)")
+    jobsp.add_argument("--gateways", type=int, default=2,
+                       help="gateway compute nodes (default 2)")
+    jobsp.add_argument("--slots", type=int, default=4,
+                       help="virtual-accelerator slots per device (default 4)")
+    jobsp.add_argument("--window-ms", type=float, default=0.5,
+                       help="arrival window in virtual ms (default 0.5)")
+    jobsp.add_argument("--ttl-ms", type=float, default=50.0,
+                       help="warm-lease TTL in virtual ms (default 50)")
+    jobsp.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (default 0)")
+    jobsp.add_argument("--no-coalesce", action="store_true",
+                       help="disable cross-tenant request coalescing")
+    jobsp.add_argument("--no-cache", action="store_true",
+                       help="disable kernel/allocation caching + warm leases")
+    jobsp.add_argument("--compare", action="store_true",
+                       help="also run the cold baseline and report the "
+                            "warm-path speedup (asserts identical outcomes)")
+    jobsp.add_argument("--quick", action="store_true",
+                       help="smaller ensemble for a fast look (CI smoke)")
+    jobsp.add_argument("--json", dest="json_path", default=None,
+                       help="also write the report as JSON")
+    jobsp.add_argument("--check-determinism", action="store_true",
+                       help="run twice and assert bit-identical digests")
     chaosp = sub.add_parser(
         "chaos", help="run a chaos scenario on the discovered pool")
     chaosp.add_argument("scenario",
@@ -393,6 +509,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         shards=args.shards)
     if args.cmd == "tenants":
         return run_tenants(args)
+    if args.cmd == "jobs":
+        return run_jobs(args)
     if args.cmd == "chaos":
         return run_chaos(args)
     if args.cmd == "collective":

@@ -401,18 +401,52 @@ class RemoteAccelerator(AcceleratorLifecycle):
                     self._live.pop(params.get("addr"), None)
             return resp.value
 
-    def stream(self, max_batch: int | None = None, name: str | None = None):
+    def coalesced_rpc(self, coalescer, calls: _t.Sequence[tuple[Op, dict]]):
+        """Submit control ops as one sub-frame to a cross-stream coalescer.
+
+        Same contract as :meth:`batch_rpc` — the returned list of per-op
+        :class:`Response` objects is not raised on — but the round trip is
+        shared: the :class:`~repro.core.coalesce.FrameCoalescer` merges
+        this sub-frame with concurrent submissions from *other* streams
+        and tenants into one MBATCH wire frame.  The sub-frame keeps its
+        own request id (at-most-once) and span context (parenting).
+        """
+        from .protocol import BATCHABLE_OPS
+        wire = []
+        for op, params in calls:
+            if op not in BATCHABLE_OPS:
+                raise MiddlewareError(
+                    f"op {op.value!r} cannot ride a batch frame")
+            wire.append((op.value, {**params, **self._scope}))
+        with self._obs.start("client.mbatch", self._actor,
+                             ops=len(wire)) as span:
+            subs = yield from coalescer.submit(wire, span=span)
+            for (op_value, params), sub in zip(wire, subs):
+                if not sub.ok:
+                    continue
+                if op_value == Op.MEM_ALLOC.value:
+                    self._live[sub.value] = params.get("nbytes", 0)
+                elif op_value == Op.MEM_FREE.value:
+                    self._live.pop(params.get("addr"), None)
+            return subs
+
+    def stream(self, max_batch: int | None = None, name: str | None = None,
+               coalescer=None):
         """Create an asynchronous command :class:`~repro.core.stream.Stream`.
 
         The stream queues ``ac*`` ops, returns futures immediately, and
         coalesces consecutive control ops into BATCH frames over this
-        front-end's reliable-RPC path.
+        front-end's reliable-RPC path.  With a
+        :class:`~repro.core.coalesce.FrameCoalescer`, control runs are
+        instead submitted as sub-frames to be merged with *other* streams'
+        traffic to the same daemon.
         """
         from .stream import DEFAULT_MAX_BATCH, Stream
         if max_batch is None:
             max_batch = DEFAULT_MAX_BATCH
         return Stream(self, self.rank.comm.engine, max_batch=max_batch,
-                      name=name or f"ac{self.handle.ac_id}-stream")
+                      name=name or f"ac{self.handle.ac_id}-stream",
+                      coalescer=coalescer)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RemoteAccelerator ac{self.handle.ac_id} via rank {self.rank.index}>"

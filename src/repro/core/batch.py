@@ -19,6 +19,7 @@ import dataclasses
 import typing as _t
 
 from ..errors import AllocationError
+from ..obs.spans import collector_for
 from ..sim import Event, Store
 from .api import RemoteAccelerator
 
@@ -115,24 +116,40 @@ class BatchRunner:
         #    the ARM) — the "job starts once ... available" semantics.
         cn_index = yield self._free_nodes.get()
         arm = self.cluster.arm_client(cn_index)
-        handles = []
-        if spec.n_accelerators:
-            handles = yield from arm.alloc(count=spec.n_accelerators,
-                                           wait=True, job=spec.name)
-        ctx = JobContext(
-            cluster=self.cluster,
-            cn_index=cn_index,
-            accelerators=[self.cluster.remote(cn_index, h) for h in handles],
-        )
+        handles: list = []
         start = self.engine.now
         result, error = None, None
         try:
+            if spec.n_accelerators:
+                handles = yield from arm.alloc(count=spec.n_accelerators,
+                                               wait=True, job=spec.name)
+            ctx = JobContext(
+                cluster=self.cluster,
+                cn_index=cn_index,
+                accelerators=[self.cluster.remote(cn_index, h)
+                              for h in handles],
+            )
+            start = self.engine.now
             result = yield from spec.body(ctx)
         except Exception as exc:
             error = exc
-        # 2. Release everything, success or not.
+        # 2. Release everything, success or not.  The release itself can
+        #    fail (the node broke mid-job, the ARM rejected the handles);
+        #    the compute node must go back to the FIFO regardless, so
+        #    queued jobs acquire it and fail (or run) deterministically on
+        #    their own allocations instead of stranding forever.
         if handles:
-            yield from arm.release(handles)
+            try:
+                yield from arm.release(handles)
+            except Exception as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            # A body (or release) that died mid-operation leaves client
+            # and daemon spans open; close them so trace exports stay
+            # well-formed.
+            collector_for(self.engine).abort_open(
+                f"batch job {spec.name!r} failed: {type(error).__name__}")
         yield self._free_nodes.put(cn_index)
         record = BatchJobRecord(spec=spec, cn_index=cn_index, start_s=start,
                                 end_s=self.engine.now, result=result,

@@ -57,6 +57,11 @@ class DaemonStats:
     #: BATCH frames served, and control ops that arrived inside them.
     batches: int = 0
     batched_ops: int = 0
+    #: Cross-stream MBATCH frames served, the sub-frames merged into
+    #: them, and the control ops those sub-frames carried.
+    mbatches: int = 0
+    mbatched_subs: int = 0
+    mbatched_ops: int = 0
     #: Duplicate requests answered from the dedup cache (at-most-once).
     dedup_hits: int = 0
     #: Virtual-accelerator slices instantiated / revoked by preemption.
@@ -79,7 +84,31 @@ class DaemonStats:
 
 
 #: At-most-once window: completed responses kept for duplicate detection.
+#: The window is counted in *replayable sub-responses*, not cache entries:
+#: a BATCH/MBATCH entry holds one recorded response per coalesced op, so a
+#: merged frame consumes a proportional share of the window (otherwise 512
+#: full frames could pin ~100x that many responses, and — worse — frames
+#: evicted by entry count would lose at-most-once protection for every op
+#: they carried at once).
 DEDUP_CACHE_SIZE = 512
+
+
+def _replay_weight(resp: Response) -> int:
+    """How many recorded sub-responses a cached reply replays.
+
+    1 for plain ops; the op count for BATCH (``value`` is a flat response
+    list) and MBATCH (``value`` is one response list per merged sub-frame).
+    """
+    value = resp.value
+    if not isinstance(value, list):
+        return 1
+    n = 0
+    for entry in value:
+        if isinstance(entry, Response):
+            n += 1
+        elif isinstance(entry, list):
+            n += sum(1 for e in entry if isinstance(e, Response))
+    return max(n, 1)
 
 #: Lease-lifecycle ops exempt from the revoked-lease guard: they manage
 #: the vac table itself (attach re-creates what the guard would reject).
@@ -126,6 +155,9 @@ class Daemon:
         #: Responses of completed non-idempotent requests, for replaying to
         #: duplicate (retried) requests instead of re-executing them.
         self._dedup: collections.OrderedDict[int, Response] = collections.OrderedDict()
+        #: Total replayable sub-responses held in ``_dedup`` (the eviction
+        #: unit — see :data:`DEDUP_CACHE_SIZE`).
+        self._dedup_weight = 0
         #: Virtual-accelerator slices attached to this device, by vac id.
         #: Revoked slices stay in the table so tenant requests against
         #: them answer PREEMPTED instead of "unknown".
@@ -229,6 +261,7 @@ class Daemon:
             Op.KERNEL_RUN: self._kernel_run,
             Op.PEER_PUT: self._peer_put,
             Op.BATCH: self._batch,
+            Op.MBATCH: self._mbatch,
             Op.VAC_ATTACH: self._vac_attach,
             Op.VAC_DETACH: self._vac_detach,
             Op.VAC_REVOKE: self._vac_revoke,
@@ -251,9 +284,14 @@ class Daemon:
 
     def _reply(self, req: Request, resp: Response, dedup: bool = False) -> None:
         if not dedup and req.op in DEDUP_OPS:
+            prev = self._dedup.pop(req.req_id, None)
+            if prev is not None:
+                self._dedup_weight -= _replay_weight(prev)
             self._dedup[req.req_id] = resp
-            while len(self._dedup) > DEDUP_CACHE_SIZE:
-                self._dedup.popitem(last=False)
+            self._dedup_weight += _replay_weight(resp)
+            while self._dedup_weight > DEDUP_CACHE_SIZE and len(self._dedup) > 1:
+                _, evicted = self._dedup.popitem(last=False)
+                self._dedup_weight -= _replay_weight(evicted)
         self.rank.isend(req.reply_to, reply_tag(req.req_id), resp)
 
     def restart(self, version: str | None = None) -> None:
@@ -269,6 +307,7 @@ class Daemon:
                 vgpu.revoke()
         self._vacs.clear()
         self._dedup.clear()
+        self._dedup_weight = 0
         self.broken = False
         self.crashed = False
         self.slow_factor = 1.0
@@ -471,6 +510,90 @@ class Daemon:
             if not resp.ok:
                 failed = f"op {i} ({op_value}) failed: {resp.error}"
         self._reply(req, Response(req.req_id, Status.OK, value=sub))
+
+    def _exec_merged_op(self, executors: dict, sub_id: int,
+                        op_value: _t.Any, params: dict):
+        """One sub-op of a merged frame: per-op validation + vac guard.
+
+        Merged sub-frames come from *different* tenants, so the serve
+        loop's frame-level revoked-lease guard cannot cover them — each
+        op re-checks its own lease here, answering PREEMPTED exactly as
+        a solo request against a revoked slice would.
+        """
+        try:
+            op = Op(op_value)
+        except ValueError:
+            op = None
+        exec_fn = executors.get(op) if op is not None else None
+        if exec_fn is None:
+            return Response(sub_id, Status.ERROR,
+                            error=f"op {op_value!r} is not batchable")
+        vac_id = params.get("vac")
+        if vac_id is not None:
+            vgpu = self._vacs.get(vac_id)
+            if vgpu is None or vgpu.revoked:
+                self.stats.preempted_requests += 1
+                return Response(sub_id, Status.PREEMPTED,
+                                error=f"virtual accelerator {vac_id} was revoked")
+        resp = yield from exec_fn(sub_id, params)
+        return resp
+
+    def _mbatch(self, req: Request, src: int):
+        """Execute a cross-stream merged frame: M sub-frames, one round trip.
+
+        ``params["reqs"]`` is a list of ``(sub_req_id, ops)`` sub-frames
+        gathered by a :class:`~repro.core.coalesce.FrameCoalescer` from
+        *different* streams/tenants inside one coalescing window.  Unlike
+        BATCH (one stream's ops, fail-fast in queue order), sub-frames are
+        mutually independent: within a sub-frame the first failure skips
+        the rest of *that* sub-frame, but never touches the others — one
+        tenant's error must not poison its neighbours' merged requests.
+
+        The reply value is one per-op response list per sub-frame, and the
+        whole frame is dedup-cached under the carrier request id, so a
+        retried merged frame replays every sub-response exactly once.
+        Each sub-frame's spans parent under its originating stream's trace
+        context (``req.sub_traces``), not the carrier frame's.
+        """
+        executors = self._executors()
+        subs = req.params["reqs"]
+        self.stats.mbatches += 1
+        self.stats.mbatched_subs += len(subs)
+        traces = req.sub_traces or [None] * len(subs)
+        obs = self._obs
+        value: list[list[Response]] = []
+        first = True
+        for j, (sub_id, ops) in enumerate(subs):
+            self.stats.mbatched_ops += len(ops)
+            span = (obs.start("daemon.mbatch.sub", self.node.name,
+                              parent=context_from_wire(traces[j]),
+                              req_id=sub_id, ops=len(ops))
+                    if obs.enabled else NULL_SPAN)
+            prev_span, self._cur_span = self._cur_span, span
+            sub: list[Response] = []
+            failed: str | None = None
+            try:
+                with span:
+                    for i, (op_value, params) in enumerate(ops):
+                        if not first:
+                            # Same dispatch cost per additional op as a
+                            # BATCH frame: only round trips are saved.
+                            yield self.engine.timeout(
+                                self.cpu.request_handling_s * self.slow_factor)
+                        first = False
+                        if failed is not None:
+                            sub.append(Response(sub_id, Status.ERROR,
+                                                error=f"skipped: {failed}"))
+                            continue
+                        resp = yield from self._exec_merged_op(
+                            executors, sub_id, op_value, params)
+                        sub.append(resp)
+                        if not resp.ok:
+                            failed = f"op {i} ({op_value}) failed: {resp.error}"
+            finally:
+                self._cur_span = prev_span
+            value.append(sub)
+        self._reply(req, Response(req.req_id, Status.OK, value=value))
 
     # -- transfers ------------------------------------------------------
     def _memcpy_h2d(self, req: Request, src: int):

@@ -73,6 +73,7 @@ class Op(enum.Enum):
     PEER_PUT = "peer_put"         # direct accelerator-to-accelerator copy
     PING = "ping"
     BATCH = "batch"               # several control ops in one frame
+    MBATCH = "mbatch"             # several *merged* sub-frames in one frame
     SHUTDOWN = "shutdown"
     # ARM operations:
     ARM_ALLOC = "arm_alloc"
@@ -118,6 +119,7 @@ RETRYABLE_OPS = frozenset({
     Op.MEM_ALLOC,
     Op.KERNEL_CREATE,
     Op.BATCH,
+    Op.MBATCH,
     Op.ARM_STATUS,
     Op.ARM_BREAK,
     Op.ARM_REPAIR,
@@ -136,6 +138,7 @@ DEDUP_OPS = frozenset({
     Op.KERNEL_RUN,
     Op.PEER_PUT,
     Op.BATCH,
+    Op.MBATCH,
     Op.VAC_ATTACH,
     Op.VAC_DETACH,
 })
@@ -181,6 +184,10 @@ class Request:
     #: opens its spans as children of this context so one remote op
     #: decomposes across client and server on a single trace id.
     trace: tuple[int, int] | None = None
+    #: For :data:`Op.MBATCH` frames only: one span context (or None) per
+    #: merged sub-frame, so the daemon parents each sub-frame's spans under
+    #: its *originating* stream's trace rather than the carrier frame's.
+    sub_traces: list | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.op, Op):
@@ -198,14 +205,14 @@ class Request:
     def wire_sized(self) -> "Request":
         """The frame as measured for transfer-time accounting.
 
-        The span context is out-of-band observability metadata: it must
-        not change the simulated wire size, or enabling tracing would
-        perturb the virtual timeline (tracing on/off is asserted to be
-        bit-identical).
+        The span contexts (frame-level and per-sub-frame) are out-of-band
+        observability metadata: they must not change the simulated wire
+        size, or enabling tracing would perturb the virtual timeline
+        (tracing on/off is asserted to be bit-identical).
         """
-        if self.trace is None:
+        if self.trace is None and self.sub_traces is None:
             return self
-        return dataclasses.replace(self, trace=None)
+        return dataclasses.replace(self, trace=None, sub_traces=None)
 
 
 @dataclasses.dataclass

@@ -107,7 +107,7 @@ DEFAULT_RETRY = RetryPolicy()
 
 def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
                  policy: RetryPolicy, timeout_s: float | None,
-                 stats: _t.Any = None, span=None):
+                 stats: _t.Any = None, span=None, sub_traces: list | None = None):
     """One request/reply exchange with timeout + retry (generator).
 
     Posts a single reply receive, then sends the request up to
@@ -120,7 +120,9 @@ def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
     ``stats`` may provide ``requests`` / ``timeouts`` integer attributes
     to be incremented (the front-end passes itself).  ``span`` is the
     caller's open trace span: its context rides each request frame and
-    timeouts / resends are recorded as span events.
+    timeouts / resends are recorded as span events.  ``sub_traces``
+    (MBATCH frames) rides each send too, so retried merged frames keep
+    their per-sub-frame span parenting.
     """
     if span is None:
         span = NULL_SPAN
@@ -136,7 +138,8 @@ def reliable_rpc(rank: RankHandle, dst: int, tag: int, op: Op, params: dict,
             span.event("retry", attempt=attempt, req_id=req_id)
         rank.isend(dst, tag, Request(op=op, req_id=req_id,
                                      reply_to=rank.index, params=params,
-                                     attempt=attempt, trace=span.wire))
+                                     attempt=attempt, trace=span.wire,
+                                     sub_traces=sub_traces))
         if timeout_s is None:
             yield rreq.done
             break

@@ -1,0 +1,32 @@
+"""The ensemble/job service front door (Pegasus-style, Sect. V-B scaled up).
+
+``repro.jobs`` turns one-python-process-drives-one-cluster into a serving
+system: submit N :class:`JobSpec` jobs — priority, tenant, accelerator
+count, DAG dependencies — and a :class:`JobService` schedules them through
+the multi-tenant admission machinery, drives them concurrently over a
+:class:`~repro.cluster.builder.Cluster`, and applies the warm paths that
+make aggregation pay (cross-tenant request coalescing, per-tenant kernel
+caching, allocation-lease reuse).
+"""
+
+from .service import (
+    JobAccelerator,
+    JobContext,
+    JobRecord,
+    JobService,
+    JobSpec,
+    JobState,
+    KernelCache,
+    LeasePool,
+)
+
+__all__ = [
+    "JobAccelerator",
+    "JobContext",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "KernelCache",
+    "LeasePool",
+]

@@ -1,0 +1,881 @@
+"""Ensemble job service: DAG scheduling, warm leases, kernel caching.
+
+The service sits in front of the middleware the way the Pegasus ensemble
+manager sits in front of an MPI cluster: clients submit :class:`JobSpec`
+ensembles (priority, tenant, accelerator count, dependencies) and the
+service runs them concurrently over one simulated cluster, multiplexing
+all jobs' control traffic through shared gateway ranks.
+
+Scheduling reuses the multi-tenant machinery end to end:
+
+* ready jobs queue in per-priority
+  :class:`~repro.core.scheduler.WeightedFairQueue` instances (weight =
+  the tenant's registered WFQ weight, cost = accelerator count), so a
+  backlogged tenant's admission share tracks its weight;
+* in-flight leases are capped by the
+  :class:`~repro.core.scheduler.AdmissionController` capacity
+  (``devices x slots_per_device``), so the ARM's own admission path never
+  has to reject or preempt — which keeps job *outcomes* independent of
+  request timing, the property the coalescing on/off identity check
+  relies on;
+* each granted job leases virtual accelerators through the ARM
+  (``valloc`` + ``VAC_ATTACH``) and runs its body against
+  :class:`JobAccelerator` front-ends.
+
+Warm paths (both deterministic, both outcome-neutral):
+
+* :class:`LeasePool` — a returned lease is kept attached for
+  ``lease_ttl_s`` of virtual time and handed to the next same-tenant job
+  on the same gateway, skipping the ARM valloc/attach round trips; an
+  expiry watcher detaches leases nobody reclaimed.
+* :class:`KernelCache` — KERNEL_CREATE only validates a module against
+  the device-global registry, so once one job of a tenant created kernel
+  K on device D, later creates of (tenant, D, K) are answered from the
+  cache with no wire traffic at all.
+* allocation cache — a freed device buffer is parked on its lease
+  (still allocated in the lease's partition) and handed to the next
+  same-size ``mem_alloc`` with no wire traffic; daemon-side malloc/free
+  is serial daemon CPU, so under load this is the largest warm-path
+  saving.  VAC_DETACH frees parked buffers with the lease.
+
+Terminal states are distinct: DONE, FAILED (the body raised), and
+CANCELLED (a dependency did not finish DONE — failure cascades down the
+DAG without running descendants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import typing as _t
+
+from ..core.coalesce import DEFAULT_MAX_MERGE, FrameCoalescer
+from ..core.protocol import Op
+from ..core.reliability import RetryPolicy
+from ..core.scheduler import TenantSpec, WeightedFairQueue
+from ..errors import AllocationError, MiddlewareError, WorkloadError
+from ..obs.metrics import MetricsRegistry
+from ..sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.builder import Cluster
+    from ..core.api import RemoteAccelerator
+
+#: Default coalescing window (virtual seconds).  Zero means flush-on-
+#: drain: the pump merges whatever accumulated while the previous frame
+#: was in flight, which captures most of the round-trip savings under
+#: load without adding any latency on an idle path.  A positive window
+#: (a fraction of the ~4 us control round trip) buys denser frames at
+#: the cost of that much added latency per frame.
+DEFAULT_WINDOW_S = 0.0
+
+#: Default time a returned lease stays warm before the pool detaches it.
+DEFAULT_LEASE_TTL_S = 50e-3
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one submitted job."""
+
+    PENDING = "pending"        # submitted; waiting on arrival/deps/slots
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"          # the body raised
+    CANCELLED = "cancelled"    # a dependency ended FAILED or CANCELLED
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One job of an ensemble.
+
+    ``deps`` names jobs this one must wait for; a job only runs when every
+    dependency finished ``DONE`` (anything else cancels it).  ``priority``
+    orders dispatch strictly (higher first); within a priority level the
+    weighted fair queue interleaves tenants by weight.
+    """
+
+    name: str
+    tenant: str
+    body: _t.Callable[["JobContext"], _t.Iterator]
+    n_accelerators: int = 1
+    priority: int = 0
+    deps: tuple[str, ...] = ()
+    arrival_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("job name must be non-empty")
+        if not self.tenant:
+            raise WorkloadError(f"job {self.name!r} needs a tenant")
+        if self.n_accelerators < 1:
+            raise WorkloadError(
+                f"job {self.name!r} needs at least one accelerator")
+        if self.arrival_s < 0:
+            raise WorkloadError(f"job {self.name!r}: negative arrival time")
+        if self.name in self.deps:
+            raise WorkloadError(
+                f"dependency cycle: job {self.name!r} depends on itself")
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """Outcome and timeline of one submitted job."""
+
+    spec: JobSpec
+    state: JobState
+    gateway: int
+    submitted_s: float
+    ready_s: float | None = None
+    start_s: float | None = None
+    end_s: float | None = None
+    result: _t.Any = None
+    error: BaseException | None = None
+    #: Fires once the job reaches a terminal state (value: this record).
+    done: Event = dataclasses.field(repr=False, default=None)
+    #: Fires when the dispatcher grants the job its slots.
+    _granted: Event = dataclasses.field(repr=False, default=None)
+    _wfq_token: int | None = dataclasses.field(repr=False, default=None)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED,
+                              JobState.CANCELLED)
+
+    @property
+    def ok(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submission-to-terminal latency (arrival-adjusted)."""
+        if self.end_s is None:
+            return None
+        return self.end_s - max(self.submitted_s, self.spec.arrival_s)
+
+
+class KernelCache:
+    """Per-tenant kernel-module residency cache.
+
+    Keyed ``(tenant, device id, module hash)``: once a tenant's job
+    created kernel K on device D, later jobs of the same tenant assigned
+    to D skip the KERNEL_CREATE round trip entirely.  Safe because the
+    daemon's KERNEL_CREATE only validates the name against the
+    device-global registry — it holds no per-lease state — so a cached
+    create has exactly the effect of a repeated one.  The module hash
+    stands in for a binary hash in a real stack; here it is the SHA-256
+    of the kernel name.
+    """
+
+    def __init__(self) -> None:
+        self._resident: set[tuple[str, int, str]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def module_hash(name: str) -> str:
+        return hashlib.sha256(name.encode()).hexdigest()
+
+    def key(self, tenant: str, ac_id: int, name: str) -> tuple[str, int, str]:
+        return (tenant, ac_id, self.module_hash(name))
+
+    def lookup(self, tenant: str, ac_id: int, name: str) -> bool:
+        """True (and counted as a hit) when the module is resident."""
+        if self.key(tenant, ac_id, name) in self._resident:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def record(self, tenant: str, ac_id: int, name: str) -> None:
+        self._resident.add(self.key(tenant, ac_id, name))
+
+    def invalidate_device(self, ac_id: int) -> None:
+        """Drop every entry on one device (after a daemon restart)."""
+        self._resident = {k for k in self._resident if k[1] != ac_id}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class JobAccelerator:
+    """A job's accelerator front-end with the service's warm paths applied.
+
+    Wraps a lease-scoped :class:`~repro.core.api.RemoteAccelerator`:
+    batchable control ops are submitted as sub-frames to the gateway's
+    :class:`~repro.core.coalesce.FrameCoalescer` (merging with concurrent
+    jobs' traffic into MBATCH frames), KERNEL_CREATE consults the
+    tenant's :class:`KernelCache` first, and ``mem_alloc``/``mem_free``
+    go through the lease's allocation cache — a freed buffer is parked
+    client-side and handed to the next same-size allocation with no wire
+    traffic at all, which matters because every daemon-side malloc/free
+    costs serial daemon CPU.  Bulk transfers keep their own frames,
+    exactly as in per-stream batching.  Without a coalescer/lease every
+    op delegates to the plain front-end — the uncoalesced baseline.
+    """
+
+    def __init__(self, remote: "RemoteAccelerator", tenant: str,
+                 coalescer: FrameCoalescer | None = None,
+                 kernel_cache: KernelCache | None = None,
+                 lease: "_Lease | None" = None,
+                 pool: "LeasePool | None" = None):
+        self._ac = remote
+        self.tenant = tenant
+        self._coalescer = coalescer
+        self._cache = kernel_cache
+        self._lease = lease
+        self._pool = pool
+
+    @property
+    def handle(self):
+        return self._ac.handle
+
+    @property
+    def device_id(self) -> int:
+        return self._ac.handle.ac_id
+
+    def _one(self, op: Op, params: dict):
+        """Issue one control op through the coalescer (generator)."""
+        subs = yield from self._ac.coalesced_rpc(self._coalescer,
+                                                 [(op, params)])
+        resp = subs[0]
+        resp.raise_for_status()
+        return resp.value
+
+    # -- the ac* surface -------------------------------------------------
+    def mem_alloc(self, nbytes: int):
+        nbytes = int(nbytes)
+        if self._lease is not None:
+            stack = self._lease.buffers.get(nbytes)
+            if stack:
+                # Warm hit: the buffer is still allocated in the lease's
+                # partition from an earlier job — zero RPCs, zero daemon
+                # time.  Contents are stale; bodies must fully write what
+                # they read, which every kernel path here does.
+                addr = stack.pop()
+                self._lease.pooled_bytes -= nbytes
+                self._ac._live[addr] = nbytes
+                if self._pool is not None:
+                    self._pool.alloc_hits += 1
+                return addr
+            if self._pool is not None:
+                self._pool.alloc_misses += 1
+        if self._coalescer is None:
+            addr = yield from self._ac.mem_alloc(nbytes)
+        else:
+            addr = yield from self._one(Op.MEM_ALLOC,
+                                        {"nbytes": nbytes})
+        return addr
+
+    def _park_buffer(self, addr: int) -> bool:
+        """Park a freed buffer in the lease's allocation cache.
+
+        Returns False (caller must really free) when pooling is off, the
+        size is unknown, or parking would tie up more than half the
+        lease's memory quota in idle buffers.
+        """
+        if self._lease is None:
+            return False
+        nbytes = self._ac._live.get(addr)
+        if nbytes is None:
+            return False
+        quota = self._lease.grant.get("mem_quota")
+        if quota is not None and (self._lease.pooled_bytes + nbytes) * 2 > quota:
+            return False
+        self._lease.buffers.setdefault(nbytes, []).append(addr)
+        self._lease.pooled_bytes += nbytes
+        self._ac._live.pop(addr, None)
+        return True
+
+    def mem_free(self, addr: int):
+        if self._park_buffer(addr):
+            return
+        if self._coalescer is None:
+            yield from self._ac.mem_free(addr)
+            return
+        yield from self._one(Op.MEM_FREE, {"addr": addr})
+
+    def memcpy_h2d(self, dst: int, payload: _t.Any, **kw):
+        yield from self._ac.memcpy_h2d(dst, payload, **kw)
+
+    def memcpy_d2h(self, src: int, nbytes: int, **kw):
+        out = yield from self._ac.memcpy_d2h(src, nbytes, **kw)
+        return out
+
+    def kernel_create(self, name: str):
+        if self._cache is not None and self._cache.lookup(
+                self.tenant, self.device_id, name):
+            # Module already resident for this tenant+device: no wire
+            # traffic, only the client-side staging bookkeeping.
+            self._ac._kernels[name] = {}
+            return
+        if self._coalescer is None:
+            yield from self._ac.kernel_create(name)
+        else:
+            yield from self._one(Op.KERNEL_CREATE, {"name": name})
+            self._ac._kernels[name] = {}
+        if self._cache is not None:
+            self._cache.record(self.tenant, self.device_id, name)
+
+    def kernel_set_args(self, name: str, params: dict) -> None:
+        self._ac.kernel_set_args(name, params)
+
+    def kernel_run(self, name: str, params: dict | None = None,
+                   real: bool = True, timeout_s: float | None = None):
+        if self._coalescer is None or timeout_s is not None:
+            result = yield from self._ac.kernel_run(name, params, real=real,
+                                                    timeout_s=timeout_s)
+            return result
+        if params is None:
+            if name not in self._ac._kernels:
+                raise MiddlewareError(
+                    f"kernel {name!r} was not created on this accelerator")
+            params = self._ac._kernels[name]
+        result = yield from self._one(Op.KERNEL_RUN, {
+            "name": name, "params": params, "real": real})
+        return result
+
+    def ping(self):
+        if self._coalescer is None:
+            value = yield from self._ac.ping()
+            return value
+        value = yield from self._one(Op.PING, {})
+        return value
+
+    def release(self):
+        """Free every allocation this job still holds (generator)."""
+        for addr in list(self._ac._live):
+            yield from self.mem_free(addr)
+
+
+@dataclasses.dataclass
+class _Lease:
+    """One attached virtual-accelerator lease held by the service."""
+
+    tenant: str
+    gateway: int
+    grant: dict
+    remote: "RemoteAccelerator"
+    #: Set when a warm pool entry was claimed (watcher must not expire it).
+    taken: bool = True
+    #: Allocation cache: free device buffers by exact size (addr lists).
+    #: Buffers parked here stay allocated inside the lease's memory
+    #: partition and are handed back to a later same-size ``mem_alloc``
+    #: with no wire traffic; VAC_DETACH frees them all server-side when
+    #: the lease itself dies, so parking costs zero teardown RPCs too.
+    buffers: dict[int, list[int]] = dataclasses.field(default_factory=dict)
+    #: Bytes currently parked in ``buffers`` (bounded by the mem quota).
+    pooled_bytes: int = 0
+
+
+class LeasePool:
+    """Warm allocation-lease reuse, keyed (tenant, gateway).
+
+    A returned lease stays attached for ``ttl_s`` of virtual time; the
+    next same-tenant job on the same gateway claims it LIFO (the most
+    recently parked lease is the most likely to still be cached hot along
+    the whole path) and skips the ARM valloc + VAC_ATTACH round trips.
+    An expiry watcher per parked lease detaches it when the TTL passes
+    unclaimed, so idle tenants do not pin device slots forever.
+    """
+
+    def __init__(self, service: "JobService", ttl_s: float):
+        if ttl_s <= 0:
+            raise WorkloadError(f"lease TTL must be positive: {ttl_s!r}")
+        self.service = service
+        self.ttl_s = ttl_s
+        self._warm: dict[tuple[str, int], list[_Lease]] = {}
+        #: Parked leases oldest-first (eviction order, across all keys).
+        self._order: list[_Lease] = []
+        self.reused = 0
+        self.parked = 0
+        self.expired = 0
+        self.evicted = 0
+        #: Allocation-cache accounting across every lease in the pool.
+        self.alloc_hits = 0
+        self.alloc_misses = 0
+
+    @property
+    def alloc_hit_rate(self) -> float:
+        total = self.alloc_hits + self.alloc_misses
+        return self.alloc_hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def warm_count(self, tenant: str, gateway: int) -> int:
+        """Parked leases currently claimable by (tenant, gateway)."""
+        return len(self._warm.get((tenant, gateway), ()))
+
+    def take(self, tenant: str, gateway: int) -> _Lease | None:
+        stack = self._warm.get((tenant, gateway))
+        if not stack:
+            return None
+        lease = stack.pop()
+        lease.taken = True
+        self._order.remove(lease)
+        self.reused += 1
+        return lease
+
+    def park(self, lease: _Lease) -> None:
+        lease.taken = False
+        self._warm.setdefault((lease.tenant, lease.gateway), []).append(lease)
+        self._order.append(lease)
+        self.parked += 1
+        engine = self.service.engine
+        engine.process(self._expire(lease), name=f"lease-ttl:{lease.tenant}")
+
+    def _unpark(self, lease: _Lease) -> None:
+        self._warm[(lease.tenant, lease.gateway)].remove(lease)
+        self._order.remove(lease)
+        lease.taken = True
+
+    def evict_one(self):
+        """Tear down the oldest parked lease (generator).
+
+        The make-room path: parked leases pin ARM device slots, so a cold
+        allocation that finds the ARM full must reclaim one first or it
+        would block until a TTL expiry — warm-path head-of-line blocking
+        across tenants.  Oldest-first keeps the order deterministic.
+        """
+        if not self._order:
+            return False
+        lease = self._order[0]
+        self._unpark(lease)
+        self.evicted += 1
+        yield from self.service._teardown_lease(lease)
+        return True
+
+    def _expire(self, lease: _Lease):
+        yield self.service.engine.timeout(self.ttl_s)
+        if lease.taken or lease not in self._order:
+            return
+        self._unpark(lease)
+        self.expired += 1
+        yield from self.service._teardown_lease(lease)
+
+    def drain(self):
+        """Detach every parked lease (generator; end-of-run cleanup)."""
+        while self._order:
+            lease = self._order[0]
+            self._unpark(lease)
+            yield from self.service._teardown_lease(lease)
+
+
+class JobService:
+    """The ensemble front door over one cluster (see module docstring)."""
+
+    def __init__(self, cluster: "Cluster", *,
+                 gateways: _t.Sequence[int] | None = None,
+                 coalescing: bool = True,
+                 window_s: float = DEFAULT_WINDOW_S,
+                 max_merge: int = DEFAULT_MAX_MERGE,
+                 caching: bool = True,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 max_in_flight: int | None = None,
+                 retry: RetryPolicy | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.admission = cluster.arm.admission
+        self.gateways = list(gateways if gateways is not None
+                             else range(len(cluster.compute_nodes)))
+        if not self.gateways:
+            raise WorkloadError("job service needs at least one gateway")
+        self.coalescing = coalescing
+        self.window_s = window_s
+        self.max_merge = max_merge
+        self.retry = retry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        capacity = (len(cluster.accelerator_nodes)
+                    * self.admission.slots_per_device)
+        #: Concurrent-lease cap.  At most the admission capacity, so the
+        #: ARM grants every valloc immediately — job outcomes then cannot
+        #: depend on request timing (the on/off identity property).
+        self.max_in_flight = min(max_in_flight or capacity, capacity)
+        self._free = self.max_in_flight
+        self._kick_scheduled = False
+        self.kernel_cache = KernelCache() if caching else None
+        self.lease_pool = (LeasePool(self, lease_ttl_s) if caching else None)
+        self._arm_clients = {cn: cluster.arm_client(cn, retry=retry)
+                             for cn in self.gateways}
+        self._coalescers: dict[tuple[int, int], FrameCoalescer] = {}
+        self._queues: dict[int, WeightedFairQueue] = {}
+        self._records: dict[str, JobRecord] = {}
+        self._tenant_gateway: dict[str, int] = {}
+        self._n_submitted = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.leases_cold = 0
+        #: Leases currently held at the ARM (active + parked) — the
+        #: make-room path keeps this below capacity before a cold valloc.
+        self._arm_held = 0
+
+    # -- tenants ---------------------------------------------------------
+    def ensure_tenant(self, tenant_id: str, weight: float = 1.0,
+                      mem_quota_bytes: int | None = None) -> None:
+        """Register (or update) a tenant with the shared admission policy.
+
+        ``max_vaccels`` is pinned to the full capacity and the ARM
+        priority to 0 for every tenant: the service's own dispatcher is
+        the real admission point (strict :attr:`JobSpec.priority` levels,
+        WFQ within a level), and a tighter ARM quota or a non-zero ARM
+        priority would let grant outcomes — preemption, DENIED — depend
+        on request arrival timing, breaking the warm-path on/off
+        bit-identity.
+        """
+        self.admission.register(TenantSpec(
+            tenant_id=tenant_id, weight=weight, priority=0,
+            max_vaccels=max(self.max_in_flight, 1),
+            mem_quota_bytes=mem_quota_bytes))
+
+    def _tenant_weight(self, tenant_id: str) -> float:
+        spec = self.admission.tenants.get(tenant_id)
+        return spec.weight if spec is not None else 1.0
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Submit one job; its dependencies must already be submitted."""
+        if spec.name in self._records:
+            raise WorkloadError(f"duplicate job name {spec.name!r}")
+        for dep in spec.deps:
+            if dep not in self._records:
+                raise WorkloadError(
+                    f"job {spec.name!r} depends on unknown job {dep!r}")
+        if spec.tenant not in self.admission.tenants:
+            self.ensure_tenant(spec.tenant)
+        # Tenant-sticky gateway assignment (tenants spread round-robin in
+        # first-seen order): a tenant's jobs share one gateway so its
+        # parked leases and coalescer are actually reclaimable — random
+        # spreading would strand warm state behind the (tenant, gateway)
+        # pool key.
+        gateway = self._tenant_gateway.setdefault(
+            spec.tenant,
+            self.gateways[len(self._tenant_gateway) % len(self.gateways)])
+        self._n_submitted += 1
+        rec = JobRecord(spec=spec, state=JobState.PENDING, gateway=gateway,
+                        submitted_s=self.engine.now,
+                        done=Event(self.engine),
+                        _granted=Event(self.engine))
+        self._records[spec.name] = rec
+        self.engine.process(self._job(rec), name=f"job:{spec.name}")
+        return rec
+
+    def submit_many(self, specs: _t.Sequence[JobSpec]) -> list[JobRecord]:
+        """Submit a whole ensemble; rejects dependency cycles up front."""
+        order = self._toposort(specs)
+        by_name = {s.name: s for s in specs}
+        records = [self.submit(by_name[name]) for name in order]
+        by_rec = {r.spec.name: r for r in records}
+        return [by_rec[s.name] for s in specs]
+
+    @staticmethod
+    def _toposort(specs: _t.Sequence[JobSpec]) -> list[str]:
+        """Kahn's algorithm; raises on cycles and unknown dependencies."""
+        by_name: dict[str, JobSpec] = {}
+        for s in specs:
+            if s.name in by_name:
+                raise WorkloadError(f"duplicate job name {s.name!r}")
+            by_name[s.name] = s
+        indeg = {s.name: 0 for s in specs}
+        dependents: dict[str, list[str]] = {s.name: [] for s in specs}
+        for s in specs:
+            for dep in s.deps:
+                if dep not in by_name:
+                    raise WorkloadError(
+                        f"job {s.name!r} depends on unknown job {dep!r}")
+                indeg[s.name] += 1
+                dependents[dep].append(s.name)
+        frontier = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(name)
+            for child in dependents[name]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(specs):
+            stuck = sorted(n for n, d in indeg.items() if d > 0)
+            raise WorkloadError(
+                f"dependency cycle among jobs: {', '.join(stuck)}")
+        return order
+
+    def record(self, name: str) -> JobRecord:
+        return self._records[name]
+
+    @property
+    def records(self) -> list[JobRecord]:
+        return list(self._records.values())
+
+    # -- plumbing --------------------------------------------------------
+    def coalescer_for(self, gateway: int, daemon_rank: int) -> FrameCoalescer | None:
+        """The merge point for one (gateway, daemon) pair (None when off)."""
+        if not self.coalescing:
+            return None
+        key = (gateway, daemon_rank)
+        co = self._coalescers.get(key)
+        if co is None:
+            co = FrameCoalescer(self.cluster.compute_rank(gateway),
+                                daemon_rank, window_s=self.window_s,
+                                max_merge=self.max_merge, retry=self.retry)
+            self._coalescers[key] = co
+        return co
+
+    @property
+    def coalescers(self) -> list[FrameCoalescer]:
+        return [self._coalescers[k] for k in sorted(self._coalescers)]
+
+    def coalesce_stats(self) -> dict[str, float]:
+        """Aggregate merge accounting across every gateway/daemon pair."""
+        subs = sum(c.subs_in for c in self._coalescers.values())
+        frames = sum(c.frames_out for c in self._coalescers.values())
+        merged = sum(c.merged_subs for c in self._coalescers.values())
+        return {
+            "subs_in": subs,
+            "frames_out": frames,
+            "merged_subs": merged,
+            "merged_ratio": merged / subs if subs else 0.0,
+            "roundtrips_saved": subs - frames,
+        }
+
+    # -- the scheduler ---------------------------------------------------
+    #: How far past the WFQ head the dispatcher may reach to grant a job
+    #: that its tenant's parked leases can serve warm.  Bounds the
+    #: fairness distortion the warm-first preference can introduce.
+    WARM_LOOKAHEAD = 8
+
+    def _schedule_kick(self) -> None:
+        """Dispatch at the end of the current timestep, not synchronously.
+
+        A finishing job frees its slots before its ``done`` event has
+        woken dependents; dispatching immediately would hand the freed
+        (and freshly parked) leases to whoever else is queued, while the
+        same-tenant child that could run warm is still one engine step
+        from enqueueing.  A zero-delay timeout sorts after those wakeups
+        at the same virtual instant, so the dispatcher sees every job
+        made ready by this step — deterministically, and with no
+        virtual-time cost.
+        """
+        if self._kick_scheduled:
+            return
+        self._kick_scheduled = True
+        self.engine.process(self._deferred_kick(), name="jobs:dispatch")
+
+    def _deferred_kick(self):
+        yield self.engine.timeout(0.0)
+        self._kick_scheduled = False
+        self._kick()
+
+    def _kick(self) -> None:
+        """Grant free slots to ready jobs (synchronous, deterministic).
+
+        Strict priority across levels; start-time weighted fair queueing
+        within a level (weight = tenant weight, cost = accelerator
+        count).  Within the top level the dispatcher prefers — up to
+        :data:`WARM_LOOKAHEAD` entries past the head — a job whose
+        tenant has enough parked leases to run entirely warm: without
+        this, the WFQ's cross-tenant interleave hands every freed slot
+        to a *different* tenant, which must evict the parked lease and
+        re-allocate cold, churning away the pool's whole benefit.  When
+        the head job of the top non-empty level does not fit, lower
+        levels wait (no backfill) — simple and timing-stable.
+        """
+        while True:
+            level = None
+            for prio in sorted(self._queues, reverse=True):
+                if len(self._queues[prio]):
+                    level = prio
+                    break
+            if level is None:
+                return
+            q = self._queues[level]
+            head: JobRecord = q.peek()
+            if head.spec.n_accelerators > self._free:
+                return
+            pick = head
+            if self.lease_pool is not None and not self._warm_ready(head):
+                for rec in q.items()[:self.WARM_LOOKAHEAD]:
+                    if (rec.spec.n_accelerators <= self._free
+                            and self._warm_ready(rec)):
+                        pick = rec
+                        break
+            if pick is head:
+                q.pop()
+            else:
+                q.remove(pick._wfq_token)
+            self._free -= pick.spec.n_accelerators
+            pick._granted.succeed(None)
+
+    def _warm_ready(self, rec: JobRecord) -> bool:
+        """True when the pool can serve every lease of ``rec`` warm."""
+        return (self.lease_pool.warm_count(rec.spec.tenant, rec.gateway)
+                >= rec.spec.n_accelerators)
+
+    def _finish(self, rec: JobRecord, state: JobState,
+                result: _t.Any = None,
+                error: BaseException | None = None) -> None:
+        rec.state = state
+        rec.result = result
+        rec.error = error
+        rec.end_s = self.engine.now
+        if state is JobState.DONE:
+            self.jobs_done += 1
+        elif state is JobState.FAILED:
+            self.jobs_failed += 1
+        else:
+            self.jobs_cancelled += 1
+        if state is not JobState.CANCELLED:
+            self.metrics.histogram("job.latency_s",
+                                   tenant=rec.spec.tenant).observe(
+                rec.latency_s)
+            self.metrics.histogram("jobs.latency_s").observe(rec.latency_s)
+        self.metrics.counter(f"jobs.{state.value}").inc()
+        rec.done.succeed(rec)
+
+    def _job(self, rec: JobRecord):
+        spec = rec.spec
+        if self.engine.now < spec.arrival_s:
+            yield self.engine.timeout(spec.arrival_s - self.engine.now)
+        # 1. Dependencies: every parent must finish DONE.
+        for dep_name in spec.deps:
+            dep = self._records[dep_name]
+            if not dep.finished:
+                yield dep.done
+        bad = [d for d in spec.deps
+               if self._records[d].state is not JobState.DONE]
+        if bad:
+            cause = self._records[bad[0]]
+            self._finish(rec, JobState.CANCELLED, error=WorkloadError(
+                f"job {spec.name!r} cancelled: dependency "
+                f"{cause.spec.name!r} {cause.state.value}"))
+            return
+        # 2. Queue for slots (priority levels, WFQ within a level).
+        rec.ready_s = self.engine.now
+        q = self._queues.setdefault(spec.priority, WeightedFairQueue())
+        rec._wfq_token = q.enqueue(spec.tenant,
+                                   self._tenant_weight(spec.tenant), rec,
+                                   cost=float(spec.n_accelerators))
+        self._schedule_kick()
+        yield rec._granted
+        rec.state = JobState.RUNNING
+        rec.start_s = self.engine.now
+        # 3. Acquire leases (warm pool first), run the body, clean up.
+        leases: list[_Lease] = []
+        result, error = None, None
+        try:
+            for _ in range(spec.n_accelerators):
+                lease = yield from self._acquire_lease(spec.tenant,
+                                                       rec.gateway,
+                                                       job=spec.name)
+                leases.append(lease)
+            acs = [JobAccelerator(
+                lease.remote, spec.tenant,
+                coalescer=self.coalescer_for(
+                    rec.gateway, lease.remote.handle.daemon_rank),
+                kernel_cache=self.kernel_cache,
+                lease=lease if self.lease_pool is not None else None,
+                pool=self.lease_pool) for lease in leases]
+            ctx = JobContext(service=self, spec=spec, record=rec,
+                             accelerators=acs)
+            result = yield from spec.body(ctx)
+            for ac in acs:
+                yield from ac.release()
+        except Exception as exc:
+            error = exc
+        for lease in leases:
+            yield from self._return_lease(lease, dirty=error is not None)
+        self._free += spec.n_accelerators
+        self._schedule_kick()
+        if error is None:
+            self._finish(rec, JobState.DONE, result=result)
+        else:
+            self._finish(rec, JobState.FAILED, error=error)
+
+    # -- leases ----------------------------------------------------------
+    def _acquire_lease(self, tenant: str, gateway: int, job: str):
+        if self.lease_pool is not None:
+            lease = self.lease_pool.take(tenant, gateway)
+            if lease is not None:
+                return lease
+            # Parked leases (any tenant, any gateway) pin ARM device
+            # slots; reclaim until the valloc below cannot block.  The
+            # dispatcher admits at most `capacity` jobs' worth of leases,
+            # so active + parked <= capacity and this always terminates
+            # with a free slot.
+            while self._arm_held >= self.max_in_flight:
+                freed = yield from self.lease_pool.evict_one()
+                if not freed:
+                    break
+        self.leases_cold += 1
+        arm = self._arm_clients[gateway]
+        # Reserve the slot before the valloc: a concurrent cold acquire
+        # must not count this still-in-flight grant as free room, or one
+        # of the two queues at a full ARM until a TTL expiry.
+        self._arm_held += 1
+        try:
+            grant = yield from arm.valloc(tenant, wait=True, job=job)
+        except BaseException:
+            self._arm_held -= 1
+            raise
+        remote = self.cluster.remote(gateway, grant["vac"], retry=self.retry)
+        yield from remote.vac_attach(share=grant["share"],
+                                     mem_quota=grant["mem_quota"])
+        return _Lease(tenant=tenant, gateway=gateway, grant=grant,
+                      remote=remote)
+
+    def _return_lease(self, lease: _Lease, dirty: bool = False):
+        """Park a clean lease warm; tear down a dirty (failed-job) one."""
+        if self.lease_pool is not None and not dirty:
+            self.lease_pool.park(lease)
+            return
+        yield from self._teardown_lease(lease)
+
+    def _teardown_lease(self, lease: _Lease):
+        self._arm_held -= 1
+        try:
+            yield from lease.remote.vac_detach()
+        except Exception:
+            pass  # revoked/broken mid-teardown: vrelease still settles it
+        try:
+            yield from self._arm_clients[lease.gateway].vrelease(
+                lease.grant["vac"])
+        except AllocationError:
+            pass  # already released (idempotent teardown)
+
+    def drain(self):
+        """Detach every warm lease (generator; run after the ensemble)."""
+        if self.lease_pool is not None:
+            yield from self.lease_pool.drain()
+        return None
+
+    # -- driving ---------------------------------------------------------
+    def run_all(self, specs: _t.Sequence[JobSpec]) -> list[JobRecord]:
+        """Submit an ensemble, run to completion, drain the warm pool."""
+        records = self.submit_many(specs)
+        if records:
+            self.engine.run(until=self.engine.all_of(
+                [r.done for r in records]))
+        proc = self.engine.process(self.drain(), name="jobs:drain")
+        self.engine.run(until=proc)
+        return records
+
+
+@dataclasses.dataclass
+class JobContext:
+    """What a running job's body receives."""
+
+    service: JobService
+    spec: JobSpec
+    record: JobRecord
+    accelerators: list[JobAccelerator]
+
+    @property
+    def engine(self):
+        return self.service.engine
+
+    @property
+    def cluster(self):
+        return self.service.cluster

@@ -181,7 +181,8 @@ def instrument_cluster(cluster: "Cluster") -> MetricsRegistry:
     """Snapshot a cluster's component counters into a fresh registry.
 
     Populates, per accelerator: ``daemon.requests`` / ``.transfer_requests``
-    / ``.batches`` / ``.batched_ops`` / ``.dedup_hits``, ``bytes.h2d`` /
+    / ``.batches`` / ``.batched_ops`` / ``.mbatches`` / ``.mbatched_subs``
+    / ``.mbatched_ops`` / ``.dedup_hits``, ``bytes.h2d`` /
     ``bytes.d2h``, ``staging.peak_bytes`` (gauge), ``gpu.busy_seconds``,
     ``gpu.kernels``, ``dma.bytes`` / ``dma.busy_seconds``; cluster-wide:
     ``fabric.bytes`` / ``fabric.messages``, ``pool.utilization``, and ARM
@@ -200,6 +201,9 @@ def instrument_cluster(cluster: "Cluster") -> MetricsRegistry:
             stats.transfer_requests)
         reg.counter("daemon.batches", ac=ac).inc(stats.batches)
         reg.counter("daemon.batched_ops", ac=ac).inc(stats.batched_ops)
+        reg.counter("daemon.mbatches", ac=ac).inc(stats.mbatches)
+        reg.counter("daemon.mbatched_subs", ac=ac).inc(stats.mbatched_subs)
+        reg.counter("daemon.mbatched_ops", ac=ac).inc(stats.mbatched_ops)
         reg.counter("daemon.dedup_hits", ac=ac).inc(stats.dedup_hits)
         reg.counter("bytes.h2d", ac=ac).inc(stats.bytes_h2d)
         reg.counter("bytes.d2h", ac=ac).inc(stats.bytes_d2h)

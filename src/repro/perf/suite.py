@@ -318,6 +318,31 @@ def _bench_collective(quick: bool) -> tuple[float, float, dict]:
         "virtual_speedup": round(staged.duration_s / p2p.duration_s, 2)}
 
 
+def _bench_jobs_throughput(quick: bool) -> tuple[float, float, dict]:
+    """Ensemble front door end to end: the warm-path run (coalescing +
+    kernel/allocation caching + lease reuse) vs the cold baseline on the
+    identical seeded ensemble.  Value is the warm run's *virtual* jobs/s;
+    detail carries the cold baseline, the virtual speedup (the CI
+    jobs-smoke gate requires >= JOBS_SPEEDUP_MIN), the cache hit rates,
+    and the on/off outcome-digest match."""
+    from ..workloads.ensemble import EnsembleConfig, run
+
+    cfg = EnsembleConfig(n_jobs=64 if quick else 96, seed=0)
+    t0 = time.perf_counter()
+    warm = run(cfg)
+    wall = time.perf_counter() - t0
+    cold = run(dataclasses.replace(cfg, coalescing=False, caching=False))
+    return warm.jobs_per_s, wall, {
+        "n_jobs": cfg.n_jobs,
+        "baseline_jobs_per_s": round(cold.jobs_per_s, 1),
+        "speedup": (round(warm.jobs_per_s / cold.jobs_per_s, 2)
+                    if cold.jobs_per_s else 0.0),
+        "kernel_cache_hit_rate": round(warm.kernel_cache_hit_rate, 2),
+        "alloc_cache_hit_rate": round(warm.alloc_cache_hit_rate, 2),
+        "leases_reused": warm.leases_reused,
+        "identical": warm.digest == cold.digest}
+
+
 #: The registered suite, in execution order.
 BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("engine_events", "events/s", "higher",
@@ -352,6 +377,9 @@ BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("collective_ring", "s", "lower",
               "P2P ring allreduce, 8 devices on a 2x2 torus",
               _bench_collective),
+    Benchmark("jobs_throughput", "jobs/s", "higher",
+              "ensemble front door, warm paths vs cold baseline",
+              _bench_jobs_throughput),
 )
 
 
@@ -456,6 +484,12 @@ REGRESSION_GATES: dict[str, float] = {
 #: a healthy tree clears this with margin even on shared runners.
 SHARDED_SPEEDUP_MIN = 1.8
 
+#: The jobs-smoke gate: the warm-path ensemble run must deliver at least
+#: this multiple of the cold baseline's *virtual* jobs/s, with a non-zero
+#: cache hit rate and bit-identical outcomes.  Virtual-time ratios are
+#: machine-independent, so no headroom is needed.
+JOBS_SPEEDUP_MIN = 1.5
+
 
 def check_regressions(doc: dict, baseline_doc: dict) -> list[str]:
     """Compare against a baseline document; returns failure messages."""
@@ -482,6 +516,26 @@ def check_regressions(doc: dict, baseline_doc: dict) -> list[str]:
                 f"sharded_events: {sharded['value']:,.0f} events/s is only "
                 f"{ratio:.2f}x the baseline single-engine "
                 f"{single['value']:,.0f} (gate: >= {SHARDED_SPEEDUP_MIN}x)")
+    jobs = doc["benchmarks"].get("jobs_throughput")
+    if jobs is not None:
+        # Self-contained gate: speedup and hit rates are virtual-time
+        # ratios inside this run's own detail, not a host comparison.
+        detail = jobs.get("detail", {})
+        if detail.get("speedup", 0.0) < JOBS_SPEEDUP_MIN:
+            failures.append(
+                f"jobs_throughput: warm-path speedup "
+                f"{detail.get('speedup', 0.0):.2f}x is below the gate "
+                f"(>= {JOBS_SPEEDUP_MIN}x over the uncoalesced/uncached "
+                f"baseline)")
+        if (detail.get("kernel_cache_hit_rate", 0.0) <= 0.0
+                or detail.get("alloc_cache_hit_rate", 0.0) <= 0.0):
+            failures.append(
+                "jobs_throughput: warm caches saw no hits "
+                f"(kernel {detail.get('kernel_cache_hit_rate', 0.0)}, "
+                f"alloc {detail.get('alloc_cache_hit_rate', 0.0)})")
+        if not detail.get("identical", False):
+            failures.append(
+                "jobs_throughput: warm-path on/off outcome digests differ")
     return failures
 
 

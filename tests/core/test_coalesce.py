@@ -1,0 +1,162 @@
+"""Cross-stream coalescing: merging, isolation, and MBATCH at-most-once."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.core import (
+    Op,
+    Request,
+    TAG_REQUEST,
+    next_request_id,
+    reply_tag,
+)
+from repro.core.coalesce import FrameCoalescer
+from repro.core.daemon import DEDUP_CACHE_SIZE
+from repro.errors import MiddlewareError
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(paper_testbed(n_compute=1, n_accelerators=1))
+    sess = cluster.session()
+    handles = sess.call(cluster.arm_client(0).alloc(count=1))
+    ac = cluster.remote(0, handles[0])
+    co = FrameCoalescer(cluster.compute_rank(0), handles[0].daemon_rank,
+                        window_s=2e-6)
+    return cluster, sess, ac, co
+
+
+class TestFrameCoalescer:
+    def test_single_sub_frame_round_trips(self, rig):
+        cluster, sess, ac, co = rig
+        subs = sess.call(ac.coalesced_rpc(co, [(Op.PING, {})]))
+        assert len(subs) == 1 and subs[0].ok and subs[0].value == "pong"
+        assert co.subs_in == 1 and co.frames_out == 1
+        assert co.roundtrips_saved == 0
+
+    def test_concurrent_sub_frames_share_a_wire_frame(self, rig):
+        cluster, sess, ac, co = rig
+        daemon = cluster.daemons[ac.handle.ac_id]
+        results = sess.parallel([
+            ac.coalesced_rpc(co, [(Op.MEM_ALLOC, {"nbytes": 64})])
+            for _ in range(4)])
+        addrs = {subs[0].value for subs in results}
+        assert len(addrs) == 4 and all(s[0].ok for s in results)
+        # The 2 us window gathered the concurrent submissions: fewer
+        # frames than sub-frames, and the daemon saw merged carriers.
+        assert co.subs_in == 4
+        assert co.frames_out < co.subs_in
+        assert co.merged_subs > 0
+        assert co.roundtrips_saved == co.subs_in - co.frames_out
+        assert daemon.stats.mbatches == co.frames_out
+        assert daemon.stats.mbatched_subs == 4
+
+    def test_sub_frame_failure_does_not_skip_other_riders(self, rig):
+        cluster, sess, ac, co = rig
+        good, bad = sess.parallel([
+            ac.coalesced_rpc(co, [(Op.MEM_ALLOC, {"nbytes": 64})]),
+            ac.coalesced_rpc(co, [(Op.MEM_FREE, {"addr": 0xdead})]),
+        ])
+        assert good[0].ok
+        assert not bad[0].ok
+
+    def test_ops_within_a_sub_frame_execute_in_order(self, rig):
+        cluster, sess, ac, co = rig
+        subs = sess.call(ac.coalesced_rpc(co, [
+            (Op.MEM_ALLOC, {"nbytes": 128}),
+            (Op.PING, {}),
+        ]))
+        assert [s.ok for s in subs] == [True, True]
+        addr = subs[0].value
+        freed = sess.call(ac.coalesced_rpc(co, [(Op.MEM_FREE,
+                                                 {"addr": addr})]))
+        assert freed[0].ok
+
+    def test_non_batchable_op_rejected(self, rig):
+        cluster, sess, ac, co = rig
+        with pytest.raises(MiddlewareError):
+            sess.call(ac.coalesced_rpc(
+                co, [(Op.MEMCPY_H2D, {"addr": 0, "nbytes": 8})]))
+
+    def test_validation(self, rig):
+        cluster, _, ac, _ = rig
+        rank = cluster.compute_rank(0)
+        with pytest.raises(ValueError):
+            FrameCoalescer(rank, ac.handle.daemon_rank, window_s=-1.0)
+        with pytest.raises(ValueError):
+            FrameCoalescer(rank, ac.handle.daemon_rank, max_merge=0)
+        with pytest.raises(ValueError):
+            FrameCoalescer(rank, ac.handle.daemon_rank, max_inflight=0)
+
+
+class TestMbatchDedup:
+    """A retried merged frame must replay every sub-response exactly once."""
+
+    def _exchange(self, cluster, sess, dst, req):
+        rank = cluster.compute_rank(0)
+
+        def roundtrip():
+            rreq = rank.irecv(source=dst, tag=reply_tag(req.req_id))
+            rank.isend(dst, TAG_REQUEST, req)
+            yield rreq.done
+            return rreq.message.payload
+
+        return sess.call(roundtrip())
+
+    def _mbatch_req(self, req_id, reqs, attempt=0):
+        return Request(op=Op.MBATCH, req_id=req_id, reply_to=0,
+                       params={"reqs": reqs}, attempt=attempt)
+
+    def test_duplicate_mbatch_replays_every_sub_once(self, rig):
+        cluster, sess, ac, _ = rig
+        daemon = cluster.daemons[ac.handle.ac_id]
+        scope = dict(ac._scope)
+        req_id = next_request_id()
+        reqs = [(next_request_id(),
+                 [(Op.MEM_ALLOC.value, {"nbytes": 256, **scope})])
+                for _ in range(3)]
+        first = self._exchange(cluster, sess, ac.handle.daemon_rank,
+                               self._mbatch_req(req_id, reqs))
+        assert first.ok and len(first.value) == 3
+        used = daemon.gpu.memory.used_bytes
+
+        dup = self._exchange(cluster, sess, ac.handle.daemon_rank,
+                             self._mbatch_req(req_id, reqs, attempt=1))
+        assert dup.ok
+        # Bit-identical replay: same addresses per sub, no re-execution.
+        assert [[s.value for s in sub] for sub in dup.value] \
+            == [[s.value for s in sub] for sub in first.value]
+        assert daemon.gpu.memory.used_bytes == used
+        assert daemon.stats.dedup_hits == 1
+
+    def test_merged_frame_weighs_its_sub_count_in_the_dedup_window(
+            self, rig, monkeypatch):
+        # Regression: eviction must be weighted by replayable
+        # sub-responses, or one merged frame of N subs would occupy a
+        # single slot and stretch the window's memory by N.
+        import repro.core.daemon as daemon_mod
+        monkeypatch.setattr(daemon_mod, "DEDUP_CACHE_SIZE", 8)
+        cluster, sess, ac, _ = rig
+        daemon = cluster.daemons[ac.handle.ac_id]
+        scope = dict(ac._scope)
+        mb_id = next_request_id()
+        reqs = [(next_request_id(),
+                 [(Op.MEM_ALLOC.value, {"nbytes": 64, **scope})])
+                for _ in range(6)]
+        self._exchange(cluster, sess, ac.handle.daemon_rank,
+                       self._mbatch_req(mb_id, reqs))
+        assert daemon._dedup_weight == 6
+        # Three plain allocs push the weight past 8: the 6-sub frame is
+        # evicted first (FIFO), leaving only the plain entries.
+        for _ in range(3):
+            req = Request(op=Op.MEM_ALLOC, req_id=next_request_id(),
+                          reply_to=0, params={"nbytes": 64, **scope})
+            self._exchange(cluster, sess, ac.handle.daemon_rank, req)
+        assert mb_id not in daemon._dedup
+        assert daemon._dedup_weight == 3
+        assert len(daemon._dedup) == 3
+
+    def test_real_cache_bound_unchanged_for_plain_ops(self, rig):
+        # The weighted window degenerates to the historical count bound
+        # when nothing is merged.
+        assert DEDUP_CACHE_SIZE == 512

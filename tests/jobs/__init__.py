@@ -1,0 +1,1 @@
+"""Tests for the ensemble job service (repro.jobs)."""
